@@ -1,0 +1,279 @@
+(* Benchmark harness.
+
+   Two layers:
+
+   1. The paper harness: regenerates every table and figure of the paper's
+      evaluation section (Tables 1/4/5, Figures 1/2, the Section 5.2 upcall
+      measurements) plus the design-choice ablations, printing measured
+      values next to the published ones.  These run in simulated time and
+      are deterministic.
+
+   2. Bechamel wall-clock micro-benchmarks: one Test.make per paper table /
+      figure (measuring the cost of regenerating it) and a group for the
+      simulator's own hot paths (event queue, processor segments, octree
+      build, buffer cache).
+
+   Usage:
+     bench/main.exe                 run the full paper harness (default)
+     bench/main.exe table1 figure2  run selected experiments
+     bench/main.exe micro           run the Bechamel micro-benchmarks
+     bench/main.exe all             paper harness + micro-benchmarks *)
+
+module E = Sa_metrics.Experiments
+module R = Sa_metrics.Report
+module Nbody = Sa_workload.Nbody
+
+let run_table1 () = R.print_latency_table ~title:"Table 1: Thread Operation Latencies (usec)" (E.table1 ())
+
+let run_table4 () =
+  R.print_latency_table
+    ~title:"Table 4: Thread Operation Latencies (usec), with Scheduler Activations"
+    (E.table4 ())
+
+let run_figure1 () =
+  R.print_speedup_series
+    ~title:
+      "Figure 1: Speedup of N-Body Application vs. Number of Processors, 100% \
+       of Memory Available"
+    (E.figure1 ())
+
+let run_figure2 () =
+  R.print_exec_time_series
+    ~title:
+      "Figure 2: Execution Time of N-Body Application vs. Amount of Available \
+       Memory, 6 Processors"
+    (E.figure2 ())
+
+let run_table5 () =
+  R.print_multiprog
+    ~title:
+      "Table 5: Speedup for N-Body Application, Multiprogramming Level = 2, 6 \
+       Processors, 100% of Memory Available"
+    (E.table5 ())
+
+let run_upcall () =
+  R.print_upcalls
+    ~title:"Section 5.2: Upcall Performance (Signal-Wait through the kernel)"
+    (E.upcall_performance ())
+
+let run_ablation_critical () =
+  R.print_ablation
+    ~title:
+      "Ablation (S5.1/S4.3): critical-section marking strategy, latency \
+       impact"
+    (E.ablation_critical_sections ())
+
+let run_ablation_hysteresis () =
+  R.print_ablation
+    ~title:"Ablation (S4.2): idle-processor hysteresis before reallocation"
+    (E.ablation_hysteresis ~spins_ms:[ 0; 1; 5; 20 ] ())
+
+let run_ablation_pool () =
+  R.print_ablation
+    ~title:"Ablation (S4.3): discarded-scheduler-activation recycling"
+    (E.ablation_activation_pooling ())
+
+let run_disk_contention () =
+  R.print_exec_time_series
+    ~title:
+      "Ablation (S5.3): Figure 2 with a queued disk (contention) instead of \
+       the fixed 50 ms block"
+    (E.figure2_disk_contention ())
+
+let run_fairness () =
+  R.print_ablation
+    ~title:"Ablation (S4.1): allocator fairness in processor-seconds"
+    (E.allocator_fairness ())
+
+let run_space_priority () =
+  R.print_ablation
+    ~title:"Ablation (S4.1): address-space priorities in the allocator"
+    (E.space_priority ())
+
+let run_server () =
+  R.print_server
+    ~title:
+      "Extension: open-arrival server response times (4 CPUs, 200 requests, \
+       80% do 20 ms I/O)"
+    (E.server_latency ())
+
+let run_warning () =
+  R.print_ablation
+    ~title:
+      "Related-work comparison (S6): immediate stop-and-upcall vs the \
+       Psyche/Symunix warning protocol (high-priority grant latency)"
+    (E.preemption_protocol ())
+
+let run_retrospective () =
+  R.print_ablation
+    ~title:
+      "Retrospective: the same systems under 2020s costs (ns-scale user \
+       ops, us-scale kernel ops, NVMe I/O) and 1000x finer-grained tasks"
+    (E.modern_retrospective ())
+
+let run_ablation_rotation () =
+  R.print_ablation
+    ~title:
+      "Ablation (S4.1): time-slicing the remainder processor between equal \
+       jobs (5 CPUs, 2 jobs)"
+    (E.ablation_remainder_rotation ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (wall clock)                              *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* One Test.make per paper table/figure: wall-clock cost of regenerating the
+   artifact (smaller workloads so a quota fits several runs). *)
+let paper_tests =
+  let small = { Nbody.default_params with n_bodies = 60; steps = 2 } in
+  Test.make_grouped ~name:"paper"
+    [
+      Test.make ~name:"table1" (Staged.stage (fun () -> E.table1 ~iters:20 ()));
+      Test.make ~name:"table4" (Staged.stage (fun () -> E.table4 ~iters:20 ()));
+      Test.make ~name:"table5"
+        (Staged.stage (fun () -> E.table5 ~params:small ()));
+      Test.make ~name:"figure1"
+        (Staged.stage (fun () -> E.figure1 ~params:small ()));
+      Test.make ~name:"figure2"
+        (Staged.stage (fun () -> E.figure2 ~params:small ()));
+      Test.make ~name:"upcall"
+        (Staged.stage (fun () -> E.upcall_performance ~iters:20 ()));
+    ]
+
+let simulator_tests =
+  let module Pqueue = Sa_engine.Pqueue in
+  let module Sim = Sa_engine.Sim in
+  let module Time = Sa_engine.Time in
+  let module Cpu = Sa_hw.Cpu in
+  let module Buffer_cache = Sa_hw.Buffer_cache in
+  Test.make_grouped ~name:"simulator"
+    [
+      Test.make ~name:"pqueue add+pop x1000"
+        (Staged.stage (fun () ->
+             let q = Pqueue.create () in
+             for i = 0 to 999 do
+               ignore (Pqueue.add q ~key:(i * 7919 mod 1000) ~seq:i i)
+             done;
+             let rec drain () = match Pqueue.pop q with Some _ -> drain () | None -> () in
+             drain ()));
+      Test.make ~name:"sim event cascade x1000"
+        (Staged.stage (fun () ->
+             let sim = Sim.create () in
+             let n = ref 0 in
+             let rec tick () =
+               incr n;
+               if !n < 1000 then ignore (Sim.schedule_after sim ~delay:10 tick)
+             in
+             ignore (Sim.schedule_after sim ~delay:10 tick);
+             Sim.run sim));
+      Test.make ~name:"cpu segment cycle x1000"
+        (Staged.stage (fun () ->
+             let sim = Sim.create () in
+             let cpu = Cpu.create sim 0 in
+             let n = ref 0 in
+             let occupant = Cpu.Occupant { space = 0; detail = "bench" } in
+             let rec seg () =
+               incr n;
+               if !n < 1000 then Cpu.begin_work cpu ~occupant ~length:(Time.us 1) seg
+             in
+             Cpu.begin_work cpu ~occupant ~length:(Time.us 1) seg;
+             Sim.run sim));
+      Test.make ~name:"buffer cache access x1000"
+        (Staged.stage (fun () ->
+             let c = Buffer_cache.create ~capacity:64 in
+             for i = 0 to 999 do
+               match Buffer_cache.access c (i * 31 mod 128) with
+               | Buffer_cache.Miss -> Buffer_cache.fill c (i * 31 mod 128)
+               | Buffer_cache.Hit | Buffer_cache.Miss_in_flight -> ()
+             done));
+      Test.make ~name:"octree build n=500"
+        (Staged.stage
+           (let rng = Sa_engine.Rng.create 7 in
+            let bodies = Barneshut.Nbody_sim.plummer rng ~n:500 in
+            fun () -> ignore (Barneshut.Octree.build bodies)));
+      Test.make ~name:"octree force n=500"
+        (Staged.stage
+           (let rng = Sa_engine.Rng.create 7 in
+            let bodies = Barneshut.Nbody_sim.plummer rng ~n:500 in
+            let tree = Barneshut.Octree.build bodies in
+            fun () ->
+              ignore
+                (Barneshut.Octree.force_on tree ~theta:0.7 ~eps:0.05 bodies.(0))));
+    ]
+
+let run_micro () =
+  print_newline ();
+  print_endline (String.make 78 '-');
+  print_endline "Bechamel micro-benchmarks (wall clock, ns per run)";
+  print_endline (String.make 78 '-');
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols (Instance.monotonic_clock) raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-40s %14.1f ns/run\n" name est
+        | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
+      results
+  in
+  benchmark paper_tests;
+  benchmark simulator_tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", run_table1);
+    ("table4", run_table4);
+    ("figure1", run_figure1);
+    ("figure2", run_figure2);
+    ("table5", run_table5);
+    ("upcall", run_upcall);
+    ("ablation-critical", run_ablation_critical);
+    ("ablation-hysteresis", run_ablation_hysteresis);
+    ("ablation-pool", run_ablation_pool);
+    ("ablation-rotation", run_ablation_rotation);
+    ("ablation-disk", run_disk_contention);
+    ("server", run_server);
+    ("ablation-warning", run_warning);
+    ("retrospective", run_retrospective);
+    ("ablation-fairness", run_fairness);
+    ("ablation-priority", run_space_priority);
+  ]
+
+let run_paper () = List.iter (fun (_, f) -> f ()) experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> run_paper ()
+  | _ :: args ->
+      List.iter
+        (fun a ->
+          match a with
+          | "all" ->
+              run_paper ();
+              run_micro ()
+          | "paper" -> run_paper ()
+          | "micro" -> run_micro ()
+          | name -> (
+              match List.assoc_opt name experiments with
+              | Some f -> f ()
+              | None ->
+                  Printf.eprintf
+                    "unknown experiment %S; known: %s, paper, micro, all\n" name
+                    (String.concat ", " (List.map fst experiments));
+                  exit 2))
+        args
+  | [] -> run_paper ()

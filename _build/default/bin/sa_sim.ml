@@ -1,0 +1,413 @@
+(* sa_sim: command-line driver for the scheduler-activations simulation.
+
+   Subcommands:
+     run      run the N-body application on a chosen threading backend
+     latency  run a latency microbenchmark (null-fork / signal-wait / upcall)
+     report   regenerate the paper's tables and figures
+     trace    run a small workload with the kernel/upcall trace streamed live *)
+
+module Time = Sa_engine.Time
+module Sim = Sa_engine.Sim
+module Trace = Sa_engine.Trace
+module Kconfig = Sa_kernel.Kconfig
+module Kernel = Sa_kernel.Kernel
+module System = Sa.System
+module Nbody = Sa_workload.Nbody
+module Latency = Sa_workload.Latency
+module Recorder = Sa_workload.Recorder
+module E = Sa_metrics.Experiments
+module R = Sa_metrics.Report
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type backend_choice = Sa | Orig_ft | Topaz | Ultrix
+
+let backend_conv =
+  let parse = function
+    | "sa" | "new-ft" -> Ok Sa
+    | "orig-ft" | "ft-kt" -> Ok Orig_ft
+    | "topaz" -> Ok Topaz
+    | "ultrix" -> Ok Ultrix
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (sa|orig-ft|topaz|ultrix)" s))
+  in
+  let print ppf = function
+    | Sa -> Format.pp_print_string ppf "sa"
+    | Orig_ft -> Format.pp_print_string ppf "orig-ft"
+    | Topaz -> Format.pp_print_string ppf "topaz"
+    | Ultrix -> Format.pp_print_string ppf "ultrix"
+  in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Sa
+    & info [ "b"; "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Threading backend: $(b,sa) (FastThreads on scheduler activations), \
+           $(b,orig-ft) (FastThreads on kernel threads), $(b,topaz) (kernel \
+           threads directly), $(b,ultrix) (heavyweight processes).")
+
+let cpus_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "cpus" ] ~docv:"N" ~doc:"Number of simulated processors.")
+
+let kconfig_of = function
+  | Sa -> Kconfig.default
+  | Orig_ft | Topaz | Ultrix -> Kconfig.native
+
+let system_backend cpus = function
+  | Sa -> `Fastthreads_on_sa
+  | Orig_ft -> `Fastthreads_on_kthreads cpus
+  | Topaz -> `Topaz_kthreads
+  | Ultrix -> `Ultrix_processes
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let bodies =
+    Arg.(
+      value & opt int Nbody.default_params.Nbody.n_bodies
+      & info [ "bodies" ] ~docv:"N" ~doc:"N-body problem size.")
+  in
+  let steps =
+    Arg.(
+      value & opt int Nbody.default_params.Nbody.steps
+      & info [ "steps" ] ~docv:"N" ~doc:"Simulation timesteps.")
+  in
+  let memory =
+    Arg.(
+      value & opt int 100
+      & info [ "memory" ] ~docv:"PCT"
+          ~doc:
+            "Percentage of the data set the buffer cache holds (the x-axis \
+             of Figure 2).  Misses block in the kernel for 50 ms.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Multiprogramming level: identical copies of the application.")
+  in
+  let parallelism =
+    Arg.(
+      value & opt (some int) None
+      & info [ "parallelism" ] ~docv:"N"
+          ~doc:"Cap the application's parallelism at N processors.")
+  in
+  let seed =
+    Arg.(
+      value & opt int Nbody.default_params.Nbody.seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Workload random seed.")
+  in
+  let timeline_flag =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:"Render an ASCII processor-occupancy timeline after the run.")
+  in
+  let action backend cpus bodies steps memory jobs parallelism seed timeline =
+    let params =
+      { Nbody.default_params with Nbody.n_bodies = bodies; steps; seed }
+    in
+    let prep = Nbody.prepare params in
+    let sys = System.create ~cpus ~kconfig:(kconfig_of backend) () in
+    let tl =
+      if timeline then
+        Some (Sa_metrics.Timeline.attach sys ~resolution:(Time.ms 2))
+      else None
+    in
+    let cache_capacity = Nbody.cache_capacity prep ~percent:memory in
+    let submit i =
+      System.submit sys
+        ~backend:(system_backend (Option.value ~default:cpus parallelism) backend)
+        ~name:(Printf.sprintf "nbody-%d" i)
+        ~cache_capacity ?parallelism prep.Nbody.program
+    in
+    let js = List.init (max 1 jobs) submit in
+    System.run sys;
+    let seq_s = Time.span_to_ms prep.Nbody.seq_time /. 1000.0 in
+    Printf.printf "workload: %d bodies, %d steps, %d tasks, %d interactions\n"
+      bodies steps prep.Nbody.tasks prep.Nbody.total_interactions;
+    Printf.printf "sequential time: %.3f s\n" seq_s;
+    List.iteri
+      (fun i j ->
+        match System.elapsed j with
+        | Some d ->
+            let el = Time.span_to_ms d /. 1000.0 in
+            Printf.printf "job %d: %.3f s  (speedup %.2f)\n" i el (seq_s /. el)
+        | None -> Printf.printf "job %d: did not finish\n" i)
+      js;
+    let st = Kernel.stats (System.kernel sys) in
+    Printf.printf
+      "kernel: %d upcalls, %d preemptions, %d reallocations, %d kernel blocks, \
+       %d dispatches, %d timeslices\n"
+      st.Kernel.upcalls st.Kernel.preemptions st.Kernel.reallocations
+      st.Kernel.io_blocks st.Kernel.kt_dispatches st.Kernel.kt_timeslices;
+    List.iter
+      (fun j ->
+        match System.uthread_stats j with
+        | Some s ->
+            Printf.printf
+              "%s: %d forks, %d dispatches, %d steals, %d user blocks, %d \
+               kernel blocks, %d CS recoveries, %.1f us spent spinning\n"
+              (System.job_name j) s.Sa_uthread.Ft_core.forks
+              s.Sa_uthread.Ft_core.dispatches s.Sa_uthread.Ft_core.steals
+              s.Sa_uthread.Ft_core.ublocks s.Sa_uthread.Ft_core.kblocks
+              s.Sa_uthread.Ft_core.cs_recoveries
+              (float_of_int s.Sa_uthread.Ft_core.cs_spin_ns /. 1000.0)
+        | None -> ())
+      js;
+    match tl with
+    | Some tl ->
+        print_newline ();
+        print_endline "processor occupancy (letter = address-space initial):";
+        Sa_metrics.Timeline.render tl Format.std_formatter
+    | None -> ()
+  in
+  let term =
+    Term.(
+      const action $ backend_arg $ cpus_arg $ bodies $ steps $ memory $ jobs
+      $ parallelism $ seed $ timeline_flag)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run the parallel N-body application on a threading backend.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* latency                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let latency_cmd =
+  let bench_conv =
+    let parse = function
+      | "null-fork" -> Ok `Null_fork
+      | "signal-wait" -> Ok `Signal_wait
+      | "upcall" -> Ok `Upcall
+      | s -> Error (`Msg (Printf.sprintf "unknown benchmark %S" s))
+    in
+    let print ppf = function
+      | `Null_fork -> Format.pp_print_string ppf "null-fork"
+      | `Signal_wait -> Format.pp_print_string ppf "signal-wait"
+      | `Upcall -> Format.pp_print_string ppf "upcall"
+    in
+    Arg.conv (parse, print)
+  in
+  let bench =
+    Arg.(
+      value & opt bench_conv `Null_fork
+      & info [ "bench" ] ~docv:"BENCH"
+          ~doc:"One of $(b,null-fork), $(b,signal-wait), $(b,upcall).")
+  in
+  let iters =
+    Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc:"Iterations.")
+  in
+  let action backend bench iters =
+    let kconfig =
+      { (kconfig_of backend) with Kconfig.daemons = false }
+    in
+    let sys = System.create ~cpus:1 ~kconfig () in
+    let r = Recorder.create () in
+    let prog, read, label =
+      match bench with
+      | `Null_fork ->
+          (Latency.null_fork ~iters (), Latency.null_fork_latency, "Null Fork")
+      | `Signal_wait ->
+          ( Latency.signal_wait ~iters,
+            Latency.signal_wait_latency,
+            "Signal-Wait" )
+      | `Upcall ->
+          ( Latency.upcall_signal_wait ~iters,
+            Latency.upcall_signal_wait_latency,
+            "Signal-Wait through the kernel" )
+    in
+    let _job =
+      System.submit sys
+        ~backend:(system_backend 1 backend)
+        ~name:"bench" ~observer:(Recorder.observer r) prog
+    in
+    System.run sys;
+    Printf.printf "%s: %.1f usec\n" label (read r)
+  in
+  let term = Term.(const action $ backend_arg $ bench $ iters) in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Run a Table 1/4 latency microbenchmark.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sor                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sor_cmd =
+  let grid =
+    Arg.(
+      value & opt int 96
+      & info [ "grid" ] ~docv:"N" ~doc:"Grid dimension (N x N).")
+  in
+  let bands =
+    Arg.(
+      value & opt int 12
+      & info [ "bands" ] ~docv:"N" ~doc:"Row bands (tasks) per half-sweep.")
+  in
+  let action backend cpus grid bands =
+    let module Sw = Sa_workload.Sor_workload in
+    let prep =
+      Sw.prepare
+        { Sw.default_params with Sw.grid_rows = grid; grid_cols = grid; bands }
+    in
+    Printf.printf "SOR %dx%d converged in %d iterations (delta %.2e)\n" grid
+      grid prep.Sw.iterations prep.Sw.final_delta;
+    let sys = System.create ~cpus ~kconfig:(kconfig_of backend) () in
+    let job =
+      System.submit sys
+        ~backend:(system_backend cpus backend)
+        ~name:"sor" prep.Sw.program
+    in
+    System.run sys;
+    let seq = Time.span_to_ms prep.Sw.seq_time in
+    match System.elapsed job with
+    | Some d ->
+        Printf.printf "elapsed %.1f ms (sequential %.1f ms, speedup %.2f)\n"
+          (Time.span_to_ms d) seq
+          (seq /. Time.span_to_ms d)
+    | None -> print_endline "did not finish"
+  in
+  let term = Term.(const action $ backend_arg $ cpus_arg $ grid $ bands) in
+  Cmd.v
+    (Cmd.info "sor" ~doc:"Run the red-black SOR grid solver workload.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let server_cmd =
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Number of requests.")
+  in
+  let action backend cpus requests =
+    let module Server = Sa_workload.Server in
+    let params = { Server.default_params with Server.requests } in
+    let prog = Server.program params in
+    let sys = System.create ~cpus ~kconfig:(kconfig_of backend) () in
+    let r = Recorder.create () in
+    let _job =
+      System.submit sys
+        ~backend:(system_backend cpus backend)
+        ~name:"server" ~observer:(Recorder.observer r) prog
+    in
+    System.run sys;
+    let s = Server.summarize r params in
+    Printf.printf
+      "%d requests: mean %.1f ms, p50 %.1f, p95 %.1f, p99 %.1f, max %.1f; \
+       makespan %.0f ms\n"
+      s.Server.completed (s.Server.mean_us /. 1000.)
+      (s.Server.p50_us /. 1000.) (s.Server.p95_us /. 1000.)
+      (s.Server.p99_us /. 1000.) (s.Server.max_us /. 1000.)
+      s.Server.makespan_ms
+  in
+  let term = Term.(const action $ backend_arg $ cpus_arg $ requests) in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:"Run the open-arrival server workload and report tail latency.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let what =
+    Arg.(
+      value
+      & pos_all string [ "all" ]
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "Experiments to run: table1, table4, table5, figure1, figure2, \
+             upcall, ablations, or all.")
+  in
+  let action what =
+    let rec dispatch = function
+      | "table1" -> R.print_latency_table ~title:"Table 1" (E.table1 ())
+      | "table4" -> R.print_latency_table ~title:"Table 4" (E.table4 ())
+      | "table5" -> R.print_multiprog ~title:"Table 5" (E.table5 ())
+      | "figure1" -> R.print_speedup_series ~title:"Figure 1" (E.figure1 ())
+      | "figure2" -> R.print_exec_time_series ~title:"Figure 2" (E.figure2 ())
+      | "upcall" -> R.print_upcalls ~title:"Upcall performance" (E.upcall_performance ())
+      | "ablations" ->
+          R.print_ablation ~title:"Critical sections"
+            (E.ablation_critical_sections ());
+          R.print_ablation ~title:"Hysteresis"
+            (E.ablation_hysteresis ~spins_ms:[ 0; 1; 5; 20 ] ());
+          R.print_ablation ~title:"Activation pooling"
+            (E.ablation_activation_pooling ());
+          R.print_ablation ~title:"Remainder rotation"
+            (E.ablation_remainder_rotation ())
+      | "all" ->
+          List.iter dispatch
+            [ "table1"; "table4"; "figure1"; "figure2"; "table5"; "upcall"; "ablations" ]
+      | other -> Printf.eprintf "unknown experiment %S\n" other
+    in
+    List.iter dispatch what
+  in
+  let term = Term.(const action $ what) in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let millis =
+    Arg.(
+      value & opt int 30
+      & info [ "for" ] ~docv:"MS" ~doc:"Simulated milliseconds to trace.")
+  in
+  let action backend cpus millis =
+    let sys = System.create ~cpus ~kconfig:(kconfig_of backend) () in
+    let tr = Sim.trace (System.sim sys) in
+    Trace.set_live tr (Some Format.std_formatter);
+    let params = { Nbody.default_params with Nbody.n_bodies = 40; steps = 2 } in
+    let prep = Nbody.prepare params in
+    let _job =
+      System.submit sys
+        ~backend:(system_backend cpus backend)
+        ~name:"traced"
+        ~cache_capacity:(Nbody.cache_capacity prep ~percent:60)
+        prep.Nbody.program
+    in
+    Sim.run
+      ~until:(Time.add (Sim.now (System.sim sys)) (Time.ms millis))
+      (System.sim sys)
+  in
+  let term = Term.(const action $ backend_arg $ cpus_arg $ millis) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a small N-body workload with the kernel and upcall trace \
+          streamed to stdout.")
+    term
+
+let () =
+  let info =
+    Cmd.info "sa_sim" ~version:"1.0.0"
+      ~doc:
+        "Simulation of Scheduler Activations (Anderson, Bershad, Lazowska, \
+         Levy; SOSP 1991)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; latency_cmd; sor_cmd; server_cmd; report_cmd; trace_cmd ]))

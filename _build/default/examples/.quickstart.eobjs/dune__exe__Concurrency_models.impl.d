@@ -1,0 +1,1 @@
+examples/concurrency_models.ml: List Printf Sa Sa_engine Sa_models Sa_program

@@ -1,0 +1,1 @@
+examples/io_overlap.ml: Option Printf Sa Sa_engine Sa_kernel Sa_program Sa_uthread

@@ -1,0 +1,1 @@
+examples/io_overlap.mli:

@@ -1,0 +1,1 @@
+examples/multiprogramming.ml: Format List Printf Sa Sa_engine Sa_kernel Sa_metrics Sa_program

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Option Printf Sa Sa_engine Sa_program Sa_uthread

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Option Printf Sa Sa_engine Sa_kernel Sa_program Sa_uthread

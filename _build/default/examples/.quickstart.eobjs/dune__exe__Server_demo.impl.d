@@ -1,0 +1,1 @@
+examples/server_demo.ml: Printf Sa Sa_kernel Sa_workload

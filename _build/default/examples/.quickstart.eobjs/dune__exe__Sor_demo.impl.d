@@ -1,0 +1,1 @@
+examples/sor_demo.ml: Printf Sa Sa_engine Sa_kernel Sa_workload

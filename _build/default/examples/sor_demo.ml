@@ -1,0 +1,41 @@
+(* A second full application: red-black SOR solving Laplace's equation.
+
+   The real solver runs first (convergence is tested in the suite); its
+   iteration count shapes a parallel program with two barriers per
+   iteration — far more barrier-intensive than the N-body code, which is
+   exactly the structure that suffers when an oblivious kernel freezes a
+   thread at a barrier (the Table 5 mechanism).
+
+     dune exec examples/sor_demo.exe *)
+
+module Time = Sa_engine.Time
+module Kconfig = Sa_kernel.Kconfig
+module System = Sa.System
+module Sw = Sa_workload.Sor_workload
+
+let () =
+  let prep = Sw.prepare Sw.default_params in
+  let p = prep.Sw.params in
+  Printf.printf
+    "SOR: %dx%d grid, omega %.1f -> converged in %d real iterations (delta %.2e)\n"
+    p.Sw.grid_rows p.Sw.grid_cols p.Sw.omega prep.Sw.iterations
+    prep.Sw.final_delta;
+  let seq = Time.span_to_ms prep.Sw.seq_time in
+  Printf.printf "sequential compute: %.1f ms; %d barriers\n\n" seq
+    (2 * prep.Sw.iterations);
+  Printf.printf "%-44s %9s %9s\n" "system (6 CPUs)" "time(ms)" "speedup";
+  let run name kconfig backend =
+    let sys = System.create ~cpus:6 ~kconfig () in
+    let job = System.submit sys ~backend ~name prep.Sw.program in
+    System.run sys;
+    match System.elapsed job with
+    | Some d ->
+        let t = Time.span_to_ms d in
+        Printf.printf "%-44s %9.1f %9.2f\n" name t (seq /. t)
+    | None -> Printf.printf "%-44s did not finish\n" name
+  in
+  run "Topaz kernel threads" Kconfig.native `Topaz_kthreads;
+  run "orig FastThreads (on kernel threads)" Kconfig.native
+    (`Fastthreads_on_kthreads 6);
+  run "new FastThreads (on scheduler activations)" Kconfig.default
+    `Fastthreads_on_sa

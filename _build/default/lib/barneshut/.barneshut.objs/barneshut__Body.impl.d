@@ -1,0 +1,1 @@
+lib/barneshut/body.ml: Vec3

@@ -1,0 +1,1 @@
+lib/barneshut/body.mli: Vec3

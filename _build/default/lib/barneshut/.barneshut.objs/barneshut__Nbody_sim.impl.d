@@ -1,0 +1,1 @@
+lib/barneshut/nbody_sim.ml: Array Body List Octree Sa_engine Vec3

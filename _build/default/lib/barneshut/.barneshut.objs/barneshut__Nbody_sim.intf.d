@@ -1,0 +1,1 @@
+lib/barneshut/nbody_sim.mli: Body Sa_engine Vec3

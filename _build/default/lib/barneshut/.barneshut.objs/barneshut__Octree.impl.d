@@ -1,0 +1,1 @@
+lib/barneshut/octree.ml: Array Body Hashtbl Vec3

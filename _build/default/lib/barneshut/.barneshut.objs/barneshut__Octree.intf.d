@@ -1,0 +1,1 @@
+lib/barneshut/octree.mli: Body Vec3

@@ -1,0 +1,1 @@
+lib/barneshut/vec3.ml: Format

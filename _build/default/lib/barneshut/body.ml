@@ -1,0 +1,11 @@
+type t = {
+  mutable pos : Vec3.t;
+  mutable vel : Vec3.t;
+  mutable acc : Vec3.t;
+  mass : float;
+  id : int;
+}
+
+let make ~id ~mass ~pos ~vel = { pos; vel; acc = Vec3.zero; mass; id }
+let kinetic_energy b = 0.5 *. b.mass *. Vec3.norm2 b.vel
+let momentum b = Vec3.scale b.mass b.vel

@@ -1,0 +1,14 @@
+(** Point masses. *)
+
+type t = {
+  mutable pos : Vec3.t;
+  mutable vel : Vec3.t;
+  mutable acc : Vec3.t;
+  mass : float;
+  id : int;
+}
+
+val make : id:int -> mass:float -> pos:Vec3.t -> vel:Vec3.t -> t
+
+val kinetic_energy : t -> float
+val momentum : t -> Vec3.t

@@ -1,0 +1,154 @@
+module Rng = Sa_engine.Rng
+
+type t = {
+  bodies : Body.t array;
+  theta : float;
+  eps : float;
+  dt : float;
+  mutable initialized : bool;  (* accelerations computed at least once *)
+}
+
+type step_profile = {
+  tree_nodes : int;
+  interactions : int array;
+  total_interactions : int;
+}
+
+let create ?(theta = 0.7) ?(eps = 0.05) ?(dt = 1e-3) bodies =
+  if Array.length bodies = 0 then invalid_arg "Nbody_sim.create: no bodies";
+  { bodies; theta; eps; dt; initialized = false }
+
+let bodies t = t.bodies
+
+let compute_forces t =
+  let tree = Octree.build t.bodies in
+  let n = Array.length t.bodies in
+  let interactions = Array.make n 0 in
+  Array.iteri
+    (fun i b ->
+      let acc, count = Octree.force_on tree ~theta:t.theta ~eps:t.eps b in
+      b.Body.acc <- acc;
+      interactions.(i) <- count)
+    t.bodies;
+  {
+    tree_nodes = Octree.node_count tree;
+    interactions;
+    total_interactions = Array.fold_left ( + ) 0 interactions;
+  }
+
+let step t =
+  if not t.initialized then begin
+    ignore (compute_forces t);
+    t.initialized <- true
+  end;
+  let half_dt = 0.5 *. t.dt in
+  (* Kick (half), drift, recompute forces, kick (half). *)
+  Array.iter
+    (fun b ->
+      b.Body.vel <- Vec3.add b.Body.vel (Vec3.scale half_dt b.Body.acc);
+      b.Body.pos <- Vec3.add b.Body.pos (Vec3.scale t.dt b.Body.vel))
+    t.bodies;
+  let profile = compute_forces t in
+  Array.iter
+    (fun b -> b.Body.vel <- Vec3.add b.Body.vel (Vec3.scale half_dt b.Body.acc))
+    t.bodies;
+  profile
+
+let run t ~steps =
+  let rec go i acc = if i = 0 then List.rev acc else go (i - 1) (step t :: acc) in
+  go steps []
+
+let kinetic_energy t =
+  Array.fold_left (fun acc b -> acc +. Body.kinetic_energy b) 0.0 t.bodies
+
+let potential_energy t =
+  let n = Array.length t.bodies in
+  let pe = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let bi = t.bodies.(i) and bj = t.bodies.(j) in
+      let r =
+        sqrt (Vec3.dist2 bi.Body.pos bj.Body.pos +. (t.eps *. t.eps))
+      in
+      pe := !pe -. (bi.Body.mass *. bj.Body.mass /. r)
+    done
+  done;
+  !pe
+
+let total_energy t = kinetic_energy t +. potential_energy t
+
+let momentum t =
+  Array.fold_left (fun acc b -> Vec3.add acc (Body.momentum b)) Vec3.zero t.bodies
+
+(* Plummer sphere (Aarseth, Henon & Wielen 1974 rejection recipe). *)
+let plummer rng ~n =
+  if n <= 0 then invalid_arg "plummer: n";
+  let mass = 1.0 /. float_of_int n in
+  let bodies =
+    Array.init n (fun id ->
+        (* Radius from the inverse cumulative mass profile. *)
+        let x = ref (Rng.float rng 1.0) in
+        while !x <= 0.0 || !x >= 1.0 do
+          x := Rng.float rng 1.0
+        done;
+        let r = 1.0 /. sqrt ((!x ** (-2.0 /. 3.0)) -. 1.0) in
+        let pick_on_sphere radius =
+          (* Marsaglia rejection on the unit sphere. *)
+          let rec go () =
+            let a = (2.0 *. Rng.float rng 1.0) -. 1.0 in
+            let b = (2.0 *. Rng.float rng 1.0) -. 1.0 in
+            let s = (a *. a) +. (b *. b) in
+            if s >= 1.0 then go ()
+            else begin
+              let root = sqrt (1.0 -. s) in
+              Vec3.make
+                (radius *. 2.0 *. a *. root)
+                (radius *. 2.0 *. b *. root)
+                (radius *. (1.0 -. (2.0 *. s)))
+            end
+          in
+          go ()
+        in
+        let pos = pick_on_sphere r in
+        (* Velocity: von Neumann rejection on q = v / v_escape. *)
+        let rec pick_q () =
+          let q = Rng.float rng 1.0 in
+          let g = q *. q *. ((1.0 -. (q *. q)) ** 3.5) in
+          if Rng.float rng 0.1 < g then q else pick_q ()
+        in
+        let q = pick_q () in
+        let vesc = sqrt 2.0 *. ((1.0 +. (r *. r)) ** -0.25) in
+        let vel = pick_on_sphere (q *. vesc) in
+        Body.make ~id ~mass ~pos ~vel)
+  in
+  (* Centre the system: zero total momentum and centre of mass. *)
+  let total_m = float_of_int n *. mass in
+  let com =
+    Vec3.scale (1.0 /. total_m)
+      (Array.fold_left
+         (fun acc b -> Vec3.add acc (Vec3.scale b.Body.mass b.Body.pos))
+         Vec3.zero bodies)
+  in
+  let mom =
+    Vec3.scale (1.0 /. total_m)
+      (Array.fold_left (fun acc b -> Vec3.add acc (Body.momentum b)) Vec3.zero bodies)
+  in
+  Array.iter
+    (fun b ->
+      b.Body.pos <- Vec3.sub b.Body.pos com;
+      b.Body.vel <- Vec3.sub b.Body.vel mom)
+    bodies;
+  bodies
+
+let uniform_cube rng ~n =
+  if n <= 0 then invalid_arg "uniform_cube: n";
+  let mass = 1.0 /. float_of_int n in
+  Array.init n (fun id ->
+      let pos = Vec3.make (Rng.float rng 1.0) (Rng.float rng 1.0) (Rng.float rng 1.0) in
+      let vel =
+        Vec3.make
+          ((Rng.float rng 0.2) -. 0.1)
+          ((Rng.float rng 0.2) -. 0.1)
+          ((Rng.float rng 0.2) -. 0.1)
+      in
+      Body.make ~id ~mass ~pos ~vel)

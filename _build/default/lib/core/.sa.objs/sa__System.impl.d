@@ -1,0 +1,1 @@
+lib/core/system.ml: Format List Option Printf Sa_engine Sa_hw Sa_kernel Sa_program Sa_uthread

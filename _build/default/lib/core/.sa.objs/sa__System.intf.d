@@ -1,0 +1,1 @@
+lib/core/system.mli: Sa_engine Sa_hw Sa_kernel Sa_program Sa_uthread

@@ -1,0 +1,115 @@
+type 'a entry = {
+  key : int;
+  seq : int;
+  value : 'a;
+  mutable state : [ `Live | `Cancelled | `Popped ];
+}
+
+type 'a t = { mutable heap : 'a entry array; mutable size : int }
+
+(* The heap array holds a dummy sentinel in unused slots via Obj-free
+   trickery: we instead keep the array dense in [0, size) and grow by
+   doubling, so no sentinel is needed beyond the initial empty array. *)
+
+let create () = { heap = [||]; size = 0 }
+
+let prio_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q =
+  let cap = Array.length q.heap in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  (* Safe: q.size > 0 when growing from non-zero, and for the first insert we
+     fill with the inserted element itself in [add]. *)
+  if cap = 0 then ()
+  else begin
+    let nheap = Array.make ncap q.heap.(0) in
+    Array.blit q.heap 0 nheap 0 q.size;
+    q.heap <- nheap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if prio_lt q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.size && prio_lt q.heap.(left) q.heap.(!smallest) then
+    smallest := left;
+  if right < q.size && prio_lt q.heap.(right) q.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~key ~seq value =
+  let e = { key; seq; value; state = `Live } in
+  if q.size = Array.length q.heap then
+    if Array.length q.heap = 0 then q.heap <- Array.make 16 e else grow q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1);
+  e
+
+let pop_root q =
+  let e = q.heap.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.heap.(0) <- q.heap.(q.size);
+    sift_down q 0
+  end;
+  e
+
+(* Discard cancelled entries sitting at the root. *)
+let rec drain_dead q =
+  if q.size > 0 && q.heap.(0).state <> `Live then begin
+    ignore (pop_root q);
+    drain_dead q
+  end
+
+let is_empty q =
+  drain_dead q;
+  q.size = 0
+
+let length q =
+  let n = ref 0 in
+  for i = 0 to q.size - 1 do
+    if q.heap.(i).state = `Live then incr n
+  done;
+  !n
+
+let pop q =
+  drain_dead q;
+  if q.size = 0 then None
+  else begin
+    let e = pop_root q in
+    e.state <- `Popped;
+    Some (e.key, e.seq, e.value)
+  end
+
+let peek_key q =
+  drain_dead q;
+  if q.size = 0 then None else Some (q.heap.(0).key, q.heap.(0).seq)
+
+let remove _q e = if e.state = `Live then e.state <- `Cancelled
+let entry_live e = e.state = `Live
+
+let to_list q =
+  let live = ref [] in
+  for i = 0 to q.size - 1 do
+    let e = q.heap.(i) in
+    if e.state = `Live then live := (e.key, e.seq, e.value) :: !live
+  done;
+  List.sort
+    (fun (k1, s1, _) (k2, s2, _) -> compare (k1, s1) (k2, s2))
+    !live

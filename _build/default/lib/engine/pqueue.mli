@@ -1,0 +1,40 @@
+(** Binary min-heap priority queue with lazy cancellation.
+
+    The queue stores elements with integer-pair priorities [(key, seq)]
+    compared lexicographically; the discrete-event simulator uses [key] for
+    the firing time and [seq] for FIFO order among simultaneous events.
+    [remove] marks an entry cancelled in O(1); cancelled entries are skipped
+    lazily by [pop]. *)
+
+type 'a t
+
+type 'a entry
+(** A handle to an inserted element, usable for cancellation. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [true] iff no live (non-cancelled) entries remain.
+    May internally discard dead entries at the root. *)
+
+val length : 'a t -> int
+(** Number of live entries. *)
+
+val add : 'a t -> key:int -> seq:int -> 'a -> 'a entry
+(** [add q ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Removes and returns the live entry with the smallest priority, as
+    [(key, seq, value)]. *)
+
+val peek_key : 'a t -> (int * int) option
+(** Priority of the entry [pop] would return, without removing it. *)
+
+val remove : 'a t -> 'a entry -> unit
+(** Cancels an entry.  Idempotent; no effect if already popped. *)
+
+val entry_live : 'a entry -> bool
+(** [entry_live e] is [true] if [e] has been neither popped nor cancelled. *)
+
+val to_list : 'a t -> (int * int * 'a) list
+(** Live entries in ascending priority order (for inspection; O(n log n)). *)

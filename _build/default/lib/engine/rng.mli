@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic element of the simulation draws from an explicit [Rng.t]
+    so that a run is a pure function of its seed: same seed, same trajectory.
+    Splitmix64 passes BigCrush, has a 64-bit state, and supports cheap
+    splitting for independent sub-streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from any integer seed. *)
+
+val copy : t -> t
+(** Independent duplicate with identical future output. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a generator statistically independent
+    of [t]'s subsequent output.  Used to give each simulated component its
+    own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal sample (Box–Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

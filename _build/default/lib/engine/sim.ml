@@ -1,0 +1,87 @@
+type handle = (unit -> unit) Pqueue.entry
+
+type t = {
+  mutable clock : Time.t;
+  queue : (unit -> unit) Pqueue.t;
+  mutable seq : int;
+  trace : Trace.t;
+  mutable same_instant : int;  (* events fired without the clock moving *)
+  mutable same_instant_limit : int;
+}
+
+exception Stalled of string
+
+let create ?trace () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  {
+    clock = Time.zero;
+    queue = Pqueue.create ();
+    seq = 0;
+    trace;
+    same_instant = 0;
+    same_instant_limit = 200_000;
+  }
+
+let now t = t.clock
+let trace t = t.trace
+
+let schedule t ~at f =
+  if Time.compare at t.clock < 0 then
+    invalid_arg "Sim.schedule: event in the past";
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Pqueue.add t.queue ~key:(Time.to_ns at) ~seq f
+
+let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
+let cancel t h = Pqueue.remove t.queue h
+let pending t = Pqueue.length t.queue
+
+let set_same_instant_limit t n =
+  if n <= 0 then invalid_arg "Sim.set_same_instant_limit";
+  t.same_instant_limit <- n
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (key, _seq, f) ->
+      let at = Time.of_ns key in
+      if Time.compare at t.clock > 0 then begin
+        t.clock <- at;
+        t.same_instant <- 0
+      end
+      else begin
+        t.same_instant <- t.same_instant + 1;
+        if t.same_instant > t.same_instant_limit then
+          raise
+            (Stalled
+               (Printf.sprintf
+                  "livelock: %d events fired at %s without the clock advancing"
+                  t.same_instant
+                  (Format.asprintf "%a" Time.pp t.clock)))
+      end;
+      f ();
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+        match Pqueue.peek_key t.queue with
+        | None -> false
+        | Some (key, _) -> Time.compare (Time.of_ns key) limit <= 0)
+  in
+  while (not (Pqueue.is_empty t.queue)) && continue () do
+    ignore (step t)
+  done
+
+let run_for t d = run ~until:(Time.add t.clock d) t
+
+let run_while t pred =
+  while pred () && not (Pqueue.is_empty t.queue) do
+    ignore (step t)
+  done
+
+let stall t msg =
+  Trace.emitf t.trace ~time:t.clock Trace.Sim "STALL: %s" msg;
+  raise (Stalled msg)

@@ -1,0 +1,61 @@
+(** Discrete-event simulation driver.
+
+    A [Sim.t] owns the simulated clock and the pending-event queue.  Events
+    scheduled for the same instant fire in scheduling order (FIFO), which
+    makes runs fully deterministic.  Event callbacks may schedule and cancel
+    further events. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?trace:Trace.t -> unit -> t
+(** Fresh simulation at time {!Time.zero}. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val trace : t -> Trace.t
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule sim ~at f] arranges for [f ()] to run at instant [at].  Raises
+    [Invalid_argument] if [at] is in the past. *)
+
+val schedule_after : t -> delay:Time.span -> (unit -> unit) -> handle
+(** [schedule_after sim ~delay f] schedules [f] at [now + delay].  A negative
+    [delay] is an error; [delay = 0] fires after currently-queued events for
+    this instant. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event.  Idempotent; harmless if already fired. *)
+
+val pending : t -> int
+(** Number of live scheduled events. *)
+
+val step : t -> bool
+(** Fire the next event, advancing the clock.  [false] if none pending. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Fire events in order until the queue is empty, or until the next event
+    would fire after [until] (the clock is then left at the last fired
+    event's time). *)
+
+val run_for : t -> Time.span -> unit
+(** [run_for sim d] is [run ~until:(now + d) sim]. *)
+
+val run_while : t -> (unit -> bool) -> unit
+(** Fire events while the predicate holds and events remain.  Used to drive
+    a simulation populated with perpetual periodic activity (e.g. kernel
+    daemons) until a workload-completion condition. *)
+
+exception Stalled of string
+
+val stall : t -> string -> 'a
+(** Abort the simulation, reporting a deadlock or invariant violation. *)
+
+val set_same_instant_limit : t -> int -> unit
+(** Livelock guard: if more than this many events fire without the clock
+    advancing (default 200,000), the simulation raises {!Stalled} — a
+    zero-delay event loop would otherwise hang the process while simulated
+    time stands still. *)

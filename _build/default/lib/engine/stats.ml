@@ -1,0 +1,176 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable mn : float;
+    mutable mx : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; mn = infinity; mx = neg_infinity; total = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x;
+    t.total <- t.total +. x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.mn
+  let max t = t.mx
+  let total t = t.total
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+      in
+      {
+        n;
+        mean;
+        m2;
+        mn = Stdlib.min a.mn b.mn;
+        mx = Stdlib.max a.mx b.mx;
+        total = a.total +. b.total;
+      }
+    end
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
+      (stddev t) t.mn t.mx
+end
+
+module Samples = struct
+  type t = { mutable data : float array; mutable n : int }
+
+  let create () = { data = [||]; n = 0 }
+
+  let add t x =
+    if t.n = Array.length t.data then begin
+      let ncap = Stdlib.max 16 (2 * t.n) in
+      let ndata = Array.make ncap 0.0 in
+      Array.blit t.data 0 ndata 0 t.n;
+      t.data <- ndata
+    end;
+    t.data.(t.n) <- x;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let mean t =
+    if t.n = 0 then 0.0
+    else begin
+      let s = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        s := !s +. t.data.(i)
+      done;
+      !s /. float_of_int t.n
+    end
+
+  let percentile t p =
+    if t.n = 0 then invalid_arg "Samples.percentile: empty";
+    if p < 0.0 || p > 100.0 then invalid_arg "Samples.percentile: range";
+    let sorted = Array.sub t.data 0 t.n in
+    Array.sort compare sorted;
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    end
+
+  let median t = percentile t 50.0
+  let to_array t = Array.sub t.data 0 t.n
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    buckets : int array;
+    mutable under : int;
+    mutable over : int;
+    mutable n : int;
+  }
+
+  let create ~lo ~hi ~buckets =
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets";
+    if not (hi > lo) then invalid_arg "Histogram.create: bounds";
+    { lo; hi; buckets = Array.make buckets 0; under = 0; over = 0; n = 0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    if x < t.lo then t.under <- t.under + 1
+    else if x >= t.hi then t.over <- t.over + 1
+    else begin
+      let nb = Array.length t.buckets in
+      let i = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int nb) in
+      let i = Stdlib.min i (nb - 1) in
+      t.buckets.(i) <- t.buckets.(i) + 1
+    end
+
+  let count t = t.n
+  let bucket_counts t = Array.copy t.buckets
+  let underflow t = t.under
+  let overflow t = t.over
+
+  let pp ppf t =
+    let nb = Array.length t.buckets in
+    let mx = Array.fold_left Stdlib.max 1 t.buckets in
+    let width = (t.hi -. t.lo) /. float_of_int nb in
+    for i = 0 to nb - 1 do
+      let bar = String.make (t.buckets.(i) * 40 / mx) '#' in
+      Format.fprintf ppf "[%8.2f,%8.2f) %6d %s@."
+        (t.lo +. (float_of_int i *. width))
+        (t.lo +. (float_of_int (i + 1) *. width))
+        t.buckets.(i) bar
+    done;
+    if t.under > 0 then Format.fprintf ppf "underflow %d@." t.under;
+    if t.over > 0 then Format.fprintf ppf "overflow %d@." t.over
+end
+
+module Weighted = struct
+  type t = {
+    start : Time.t;
+    mutable last : Time.t;
+    mutable level : float;
+    mutable area : float;
+  }
+
+  let create ~at ~level = { start = at; last = at; level; area = 0.0 }
+
+  let update t ~at ~level =
+    if Time.compare at t.last < 0 then invalid_arg "Weighted.update: time went backwards";
+    t.area <- t.area +. (t.level *. float_of_int (Time.diff at t.last));
+    t.last <- at;
+    t.level <- level
+
+  let average t ~upto =
+    let span = Time.diff upto t.start in
+    if span <= 0 then t.level
+    else begin
+      let tail =
+        if Time.compare upto t.last > 0 then
+          t.level *. float_of_int (Time.diff upto t.last)
+        else 0.0
+      in
+      (t.area +. tail) /. float_of_int span
+    end
+
+  let current t = t.level
+end

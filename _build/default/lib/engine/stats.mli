@@ -1,0 +1,80 @@
+(** Statistical accumulators for simulation measurements. *)
+
+(** Streaming summary: count, mean, variance (Welford), min, max.
+    O(1) per observation, no sample retention. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0.0 with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val total : t -> float
+  val merge : t -> t -> t
+  (** Combined summary, as if all observations of both were added to one. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Sample set retaining all observations, for exact quantiles. *)
+module Samples : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val percentile : t -> float -> float
+  (** [percentile s p] with [p] in [\[0, 100\]], nearest-rank with linear
+      interpolation.  Raises [Invalid_argument] if empty or [p] out of
+      range. *)
+
+  val median : t -> float
+  val to_array : t -> float array
+  (** Observations in insertion order. *)
+end
+
+(** Fixed-bucket histogram over [\[lo, hi)] with [buckets] equal bins plus
+    underflow/overflow bins. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+  (** Length [buckets]; excludes under/overflow. *)
+
+  val underflow : t -> int
+  val overflow : t -> int
+  val pp : Format.formatter -> t -> unit
+  (** ASCII bar rendering. *)
+end
+
+(** Time-weighted average of a piecewise-constant quantity, e.g. the number
+    of busy processors.  Feed it level changes; it integrates level * dt. *)
+module Weighted : sig
+  type t
+
+  val create : at:Time.t -> level:float -> t
+  val update : t -> at:Time.t -> level:float -> unit
+  (** Record that the level changed to [level] at time [at].  Times must be
+      non-decreasing. *)
+
+  val average : t -> upto:Time.t -> float
+  (** Time-weighted mean level over [\[start, upto\]]. *)
+
+  val current : t -> float
+end

@@ -1,0 +1,81 @@
+type category = Sim | Cpu | Kernel | Upcall | Uthread | Workload
+
+let category_name = function
+  | Sim -> "sim"
+  | Cpu -> "cpu"
+  | Kernel -> "kernel"
+  | Upcall -> "upcall"
+  | Uthread -> "uthread"
+  | Workload -> "workload"
+
+let category_index = function
+  | Sim -> 0
+  | Cpu -> 1
+  | Kernel -> 2
+  | Upcall -> 3
+  | Uthread -> 4
+  | Workload -> 5
+
+type record = { time : Time.t; category : category; message : string }
+
+type t = {
+  ring : record option array;
+  mutable next : int;
+  mutable total : int;
+  enabled_mask : bool array;
+  mutable live : Format.formatter option;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity";
+  {
+    ring = Array.make capacity None;
+    next = 0;
+    total = 0;
+    enabled_mask = Array.make 6 true;
+    live = None;
+  }
+
+let enable t cat v = t.enabled_mask.(category_index cat) <- v
+let set_live t fmt = t.live <- fmt
+let enabled t cat = t.enabled_mask.(category_index cat)
+
+let push t r =
+  t.ring.(t.next) <- Some r;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1;
+  match t.live with
+  | None -> ()
+  | Some ppf ->
+      Format.fprintf ppf "[%a] %-8s %s@." Time.pp r.time
+        (category_name r.category) r.message
+
+let emit t ~time category message =
+  if enabled t category then
+    push t { time; category; message = Lazy.force message }
+
+let emitf t ~time category fmt =
+  Format.kasprintf
+    (fun message ->
+      if enabled t category then push t { time; category; message })
+    fmt
+
+let records t =
+  let cap = Array.length t.ring in
+  let out = ref [] in
+  for i = 0 to cap - 1 do
+    (* Walk backwards from the slot before [next] so the result is oldest
+       first after the final reversal. *)
+    let idx = (t.next - 1 - i + (2 * cap)) mod cap in
+    match t.ring.(idx) with Some r -> out := r :: !out | None -> ()
+  done;
+  !out
+
+let count t = t.total
+
+let dump t ppf =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "[%a] %-8s %s@." Time.pp r.time
+        (category_name r.category) r.message)
+    (records t)

@@ -1,0 +1,51 @@
+(** Structured simulation tracing.
+
+    Components emit trace records tagged with a category; a trace sink keeps
+    the most recent records in a ring buffer and can mirror them to a
+    formatter as they arrive.  Tracing off the hot path costs one branch. *)
+
+type category =
+  | Sim  (** engine-level events *)
+  | Cpu  (** dispatch / interrupt / idle transitions *)
+  | Kernel  (** syscalls, blocking, allocator decisions *)
+  | Upcall  (** scheduler-activation upcalls and downcalls *)
+  | Uthread  (** user-level thread operations *)
+  | Workload  (** application-level progress *)
+
+val category_name : category -> string
+
+type record = { time : Time.t; category : category; message : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of at most [capacity] (default 4096) records. *)
+
+val enable : t -> category -> bool -> unit
+(** Toggle recording of a category.  All categories start enabled. *)
+
+val set_live : t -> Format.formatter option -> unit
+(** When set, records are also printed as they are emitted. *)
+
+val enabled : t -> category -> bool
+
+val emit : t -> time:Time.t -> category -> string Lazy.t -> unit
+(** Record an event.  The message is only forced if the category is
+    enabled. *)
+
+val emitf :
+  t ->
+  time:Time.t ->
+  category ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Formatted emission; the format arguments are always evaluated, so prefer
+    [emit] with a lazy message on hot paths. *)
+
+val records : t -> record list
+(** Oldest first. *)
+
+val count : t -> int
+(** Total records emitted (including ones evicted from the ring). *)
+
+val dump : t -> Format.formatter -> unit

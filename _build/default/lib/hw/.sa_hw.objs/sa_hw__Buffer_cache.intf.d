@@ -1,0 +1,1 @@
+lib/hw/buffer_cache.mli:

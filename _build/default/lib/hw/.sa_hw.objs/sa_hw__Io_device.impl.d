@@ -1,0 +1,1 @@
+lib/hw/io_device.ml: Queue Sa_engine

@@ -1,0 +1,1 @@
+lib/hw/io_device.mli: Sa_engine

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Cpu Format List Sa_engine

@@ -1,0 +1,88 @@
+module Time = Sa_engine.Time
+module Sim = Sa_engine.Sim
+
+type id = int
+
+type occupant =
+  | Nobody
+  | Kernel_idle
+  | Occupant of { space : int; detail : string }
+
+type segment = {
+  started : Time.t;
+  length : Time.span;
+  continue : unit -> unit;
+  event : Sim.handle;
+}
+
+type t = {
+  sim : Sim.t;
+  cpu_id : id;
+  mutable running : segment option;
+  mutable who : occupant;
+  mutable busy_ns : Time.span;
+  mutable segments : int;
+}
+
+type preempted = {
+  elapsed : Time.span;
+  remaining : Time.span;
+  resume : unit -> unit;
+}
+
+let create sim cpu_id =
+  { sim; cpu_id; running = None; who = Nobody; busy_ns = 0; segments = 0 }
+
+let id t = t.cpu_id
+let is_busy t = t.running <> None
+let occupant t = t.who
+let set_occupant t who = t.who <- who
+
+let begin_work t ~occupant ~length k =
+  if t.running <> None then
+    invalid_arg
+      (Printf.sprintf "Cpu.begin_work: cpu %d already busy" t.cpu_id);
+  if length < 0 then invalid_arg "Cpu.begin_work: negative length";
+  t.who <- occupant;
+  t.segments <- t.segments + 1;
+  let started = Sim.now t.sim in
+  let event =
+    Sim.schedule_after t.sim ~delay:length (fun () ->
+        t.running <- None;
+        t.who <- Nobody;
+        t.busy_ns <- t.busy_ns + length;
+        k ())
+  in
+  t.running <- Some { started; length; continue = k; event }
+
+let preempt t =
+  match t.running with
+  | None -> None
+  | Some seg ->
+      Sim.cancel t.sim seg.event;
+      t.running <- None;
+      t.who <- Nobody;
+      let elapsed = Time.diff (Sim.now t.sim) seg.started in
+      let remaining = seg.length - elapsed in
+      t.busy_ns <- t.busy_ns + elapsed;
+      Some { elapsed; remaining; resume = seg.continue }
+
+let busy_time t = t.busy_ns
+let segment_count t = t.segments
+
+let pp ppf t =
+  let state =
+    match t.running with
+    | None -> "idle"
+    | Some seg ->
+        Format.asprintf "busy(%a left)"
+          Time.pp_span
+          (seg.length - Time.diff (Sim.now t.sim) seg.started)
+  in
+  let who =
+    match t.who with
+    | Nobody -> "-"
+    | Kernel_idle -> "kernel-idle"
+    | Occupant { space; detail } -> Printf.sprintf "as%d:%s" space detail
+  in
+  Format.fprintf ppf "cpu%d %s %s" t.cpu_id state who

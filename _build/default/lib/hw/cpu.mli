@@ -1,0 +1,59 @@
+(** A simulated processor.
+
+    A CPU is either idle or executing a single {e work segment}: a span of
+    simulated compute time with a completion continuation.  The scheduling
+    layers above charge every cost — application compute, thread-package
+    bookkeeping, kernel traps, upcall delivery — as segments, so overhead
+    consumes processor time exactly as it would on real hardware.
+
+    A busy CPU can be {!preempt}ed, which cancels the pending completion and
+    hands the caller the unfinished remainder (span + continuation); saving
+    that pair {e is} the simulated register state of the interrupted
+    context. *)
+
+type id = int
+
+type t
+
+type occupant =
+  | Nobody
+  | Kernel_idle  (** kernel idle loop *)
+  | Occupant of { space : int; detail : string }
+      (** running on behalf of address space [space]; [detail] is a
+          human-readable label for traces *)
+
+type preempted = {
+  elapsed : Sa_engine.Time.span;  (** work completed before the interrupt *)
+  remaining : Sa_engine.Time.span;  (** work left to run *)
+  resume : unit -> unit;  (** continuation to invoke after re-charging
+                              [remaining] on some CPU *)
+}
+
+val create : Sa_engine.Sim.t -> id -> t
+val id : t -> id
+val is_busy : t -> bool
+val occupant : t -> occupant
+
+val set_occupant : t -> occupant -> unit
+(** Label the CPU without starting a segment (used for idle bookkeeping). *)
+
+val begin_work :
+  t -> occupant:occupant -> length:Sa_engine.Time.span -> (unit -> unit) -> unit
+(** [begin_work cpu ~occupant ~length k] starts a segment.  The CPU must be
+    idle (raises [Invalid_argument] otherwise).  After [length] of simulated
+    time, the CPU becomes idle and [k ()] runs.  A zero [length] completes
+    via the event queue, preserving FIFO ordering. *)
+
+val preempt : t -> preempted option
+(** Stop the current segment immediately.  [None] if the CPU was idle.  The
+    CPU is idle afterwards; the caller owns the returned context. *)
+
+val busy_time : t -> Sa_engine.Time.span
+(** Total simulated time this CPU has spent executing segments (completed
+    work only; an in-flight segment contributes once finished or
+    preempted). *)
+
+val segment_count : t -> int
+(** Number of segments started. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+module Time = Sa_engine.Time
+module Sim = Sa_engine.Sim
+module Stats = Sa_engine.Stats
+
+type discipline =
+  | Fixed_latency of Time.span
+  | Fifo_queue of { service_time : Time.span }
+  | Channels of { channels : int; service_time : Time.span }
+
+type request = { issued : Time.t; complete : unit -> unit }
+
+type t = {
+  sim : Sim.t;
+  discipline : discipline;
+  queue : request Queue.t;  (* queued disciplines only *)
+  mutable busy_servers : int;
+  total_servers : int;
+  mutable outstanding : int;
+  mutable done_count : int;
+  latency : Stats.Summary.t;
+}
+
+let create sim discipline =
+  let total_servers =
+    match discipline with
+    | Fixed_latency _ -> 0
+    | Fifo_queue _ -> 1
+    | Channels { channels; _ } ->
+        if channels <= 0 then invalid_arg "Io_device: channels";
+        channels
+  in
+  {
+    sim;
+    discipline;
+    queue = Queue.create ();
+    busy_servers = 0;
+    total_servers;
+    outstanding = 0;
+    done_count = 0;
+    latency = Stats.Summary.create ();
+  }
+
+let finish t req =
+  t.outstanding <- t.outstanding - 1;
+  t.done_count <- t.done_count + 1;
+  Stats.Summary.add t.latency
+    (Time.span_to_us (Time.diff (Sim.now t.sim) req.issued));
+  req.complete ()
+
+let rec serve_next t service_time =
+  if t.busy_servers < t.total_servers then
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some req ->
+        t.busy_servers <- t.busy_servers + 1;
+        ignore
+          (Sim.schedule_after t.sim ~delay:service_time (fun () ->
+               t.busy_servers <- t.busy_servers - 1;
+               finish t req;
+               serve_next t service_time))
+
+let submit t k =
+  t.outstanding <- t.outstanding + 1;
+  let req = { issued = Sim.now t.sim; complete = k } in
+  match t.discipline with
+  | Fixed_latency d ->
+      ignore (Sim.schedule_after t.sim ~delay:d (fun () -> finish t req))
+  | Fifo_queue { service_time } | Channels { service_time; _ } ->
+      Queue.add req t.queue;
+      serve_next t service_time
+
+let in_flight t = t.outstanding
+let completed t = t.done_count
+
+let mean_latency t =
+  if Stats.Summary.count t.latency = 0 then 0.0
+  else Stats.Summary.mean t.latency

@@ -1,0 +1,34 @@
+(** Block I/O device.
+
+    Two service disciplines:
+
+    - [Fixed_latency]: every request completes after a constant delay,
+      independent of load.  This is the paper's simplification ("threads
+      that miss in the cache simply block in the kernel for 50 msec").
+    - [Fifo_queue]: a single server with a constant service time; requests
+      queue, so contention lengthens effective latency.  The paper notes its
+      measurements were "qualitatively similar when we took contention for
+      the disk into account" — the ablation benches use this mode to check
+      the same holds here. *)
+
+type discipline =
+  | Fixed_latency of Sa_engine.Time.span
+  | Fifo_queue of { service_time : Sa_engine.Time.span }
+  | Channels of { channels : int; service_time : Sa_engine.Time.span }
+      (** [channels] independent servers over one FIFO queue (a multi-queue
+          NVMe-style device); [Fifo_queue] is [Channels 1] *)
+
+type t
+
+val create : Sa_engine.Sim.t -> discipline -> t
+
+val submit : t -> (unit -> unit) -> unit
+(** [submit t k] issues a request; [k ()] runs at completion time. *)
+
+val in_flight : t -> int
+(** Requests submitted but not yet completed. *)
+
+val completed : t -> int
+
+val mean_latency : t -> float
+(** Mean request latency in microseconds (0 if none completed). *)

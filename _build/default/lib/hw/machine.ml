@@ -1,0 +1,36 @@
+module Time = Sa_engine.Time
+module Sim = Sa_engine.Sim
+
+type t = { sim : Sim.t; cpus : Cpu.t array }
+
+let create sim ~cpus =
+  if cpus <= 0 then invalid_arg "Machine.create: cpus";
+  { sim; cpus = Array.init cpus (fun i -> Cpu.create sim i) }
+
+let sim t = t.sim
+let cpu_count t = Array.length t.cpus
+
+let cpu t i =
+  if i < 0 || i >= Array.length t.cpus then invalid_arg "Machine.cpu: id";
+  t.cpus.(i)
+
+let cpus t = t.cpus
+
+let idle_cpus t =
+  Array.to_list t.cpus |> List.filter (fun c -> not (Cpu.is_busy c))
+
+let busy_count t =
+  Array.fold_left (fun n c -> if Cpu.is_busy c then n + 1 else n) 0 t.cpus
+
+let total_busy_time t =
+  Array.fold_left (fun acc c -> acc + Cpu.busy_time c) 0 t.cpus
+
+let utilization t ~upto =
+  let span = Time.to_ns upto in
+  if span = 0 then 0.0
+  else
+    float_of_int (total_busy_time t)
+    /. (float_of_int span *. float_of_int (cpu_count t))
+
+let pp ppf t =
+  Array.iter (fun c -> Format.fprintf ppf "%a@." Cpu.pp c) t.cpus

@@ -1,0 +1,25 @@
+(** The simulated multiprocessor: a fixed set of {!Cpu}s sharing a clock,
+    modelled on the six-processor CVAX Firefly. *)
+
+type t
+
+val create : Sa_engine.Sim.t -> cpus:int -> t
+(** Raises [Invalid_argument] if [cpus <= 0]. *)
+
+val sim : t -> Sa_engine.Sim.t
+val cpu_count : t -> int
+val cpu : t -> Cpu.id -> Cpu.t
+val cpus : t -> Cpu.t array
+
+val idle_cpus : t -> Cpu.t list
+(** CPUs with no segment in flight, in id order. *)
+
+val busy_count : t -> int
+
+val total_busy_time : t -> Sa_engine.Time.span
+(** Sum of completed busy time over all CPUs. *)
+
+val utilization : t -> upto:Sa_engine.Time.t -> float
+(** Mean fraction of CPUs busy over [0, upto]. *)
+
+val pp : Format.formatter -> t -> unit

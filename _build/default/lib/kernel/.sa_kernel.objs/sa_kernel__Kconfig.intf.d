@@ -1,0 +1,1 @@
+lib/kernel/kconfig.mli: Sa_engine

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Alloc_policy Array Format Hashtbl Kconfig List Printf Queue Sa_engine Sa_hw String Upcall

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Format Kconfig Sa_engine Sa_hw Upcall

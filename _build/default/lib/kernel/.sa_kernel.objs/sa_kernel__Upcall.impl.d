@@ -1,0 +1,1 @@
+lib/kernel/upcall.ml: Format Sa_engine

@@ -1,0 +1,35 @@
+(** The processor-allocation policy of Section 4.1, as a pure function.
+
+    "Space-shares processors while respecting priorities and guaranteeing
+    that no processor idles if there is work to do.  Processors are divided
+    evenly among address spaces; if some address spaces do not need all of
+    the processors in their share, those processors are divided evenly among
+    the remainder."
+
+    Extracted from the kernel so the policy itself is property-testable:
+    the kernel feeds it each address space's priority and demand and applies
+    the returned targets mechanically. *)
+
+type claim = {
+  space : int;  (** address-space id (unique) *)
+  priority : int;  (** higher is served first *)
+  desired : int;  (** processors the space can use right now *)
+}
+
+val targets : cpus:int -> rotation:int -> claim list -> (int * int) list
+(** [targets ~cpus ~rotation claims] assigns each claiming space a
+    processor count.  Guarantees (tested as properties):
+
+    - no space receives more than it desires, nor a negative count;
+    - the assignment is {e work-conserving}: processors are left over only
+      when every desire is satisfied;
+    - a higher-priority group is fully served (up to even division of what
+      remains) before a lower one receives anything;
+    - within a priority group the division is even: two spaces with equal
+      desire differ by at most one processor;
+    - an uneven remainder moves between equal claimants as [rotation]
+      increases, so time-slicing the leftover is fair across periods.
+
+    The result lists every claim's space id exactly once.  Raises
+    [Invalid_argument] on negative [cpus], duplicate ids, or negative
+    desires. *)

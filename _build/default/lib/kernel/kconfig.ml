@@ -1,0 +1,24 @@
+type mode = Native_oblivious | Explicit_allocation
+
+type t = {
+  mode : mode;
+  tuned_upcalls : bool;
+  activation_pooling : bool;
+  daemons : bool;
+  rotate_remainder : bool;
+  preempt_warning : Sa_engine.Time.span option;
+  seed : int;
+}
+
+let default =
+  {
+    mode = Explicit_allocation;
+    tuned_upcalls = false;
+    activation_pooling = true;
+    daemons = true;
+    rotate_remainder = true;
+    preempt_warning = None;
+    seed = 42;
+  }
+
+let native = { default with mode = Native_oblivious }

@@ -1,0 +1,16 @@
+type user_ctx = { remaining : Sa_engine.Time.span; resume : unit -> unit }
+
+type event =
+  | Add_processor
+  | Processor_preempted of { act : int; ctx : user_ctx }
+  | Activation_blocked of { act : int }
+  | Activation_unblocked of { act : int; ctx : user_ctx }
+
+let pp_event ppf = function
+  | Add_processor -> Format.pp_print_string ppf "add-processor"
+  | Processor_preempted { act; ctx } ->
+      Format.fprintf ppf "preempted(act=%d, remaining=%a)" act
+        Sa_engine.Time.pp_span ctx.remaining
+  | Activation_blocked { act } -> Format.fprintf ppf "blocked(act=%d)" act
+  | Activation_unblocked { act; _ } ->
+      Format.fprintf ppf "unblocked(act=%d)" act

@@ -1,0 +1,1 @@
+lib/metrics/experiments.ml: List Printf Sa Sa_engine Sa_hw Sa_kernel Sa_program Sa_uthread Sa_workload

@@ -1,0 +1,1 @@
+lib/metrics/experiments.mli: Sa_engine Sa_workload

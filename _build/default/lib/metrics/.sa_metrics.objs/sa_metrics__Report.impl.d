@@ -1,0 +1,1 @@
+lib/metrics/report.ml: Array Experiments List Printf String

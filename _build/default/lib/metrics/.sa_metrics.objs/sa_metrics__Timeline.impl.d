@@ -1,0 +1,1 @@
+lib/metrics/timeline.ml: Array Char Format Hashtbl List Sa Sa_engine Sa_hw Sa_kernel String

@@ -1,0 +1,141 @@
+let hr () = print_endline (String.make 78 '-')
+
+let header title =
+  print_newline ();
+  hr ();
+  Printf.printf "%s\n" title;
+  hr ()
+
+let opt_f = function Some v -> Printf.sprintf "%10.1f" v | None -> "         -"
+
+let print_latency_table ~title rows =
+  header title;
+  Printf.printf "%-40s %10s %10s %10s %10s\n" "Operation latencies (us)"
+    "NullFork" "paper" "SigWait" "paper";
+  List.iter
+    (fun r ->
+      Printf.printf "%-40s %10.1f %s %10.1f %s\n" r.Experiments.system
+        r.Experiments.null_fork_us
+        (opt_f r.Experiments.paper_null_fork)
+        r.Experiments.signal_wait_us
+        (opt_f r.Experiments.paper_signal_wait))
+    rows
+
+let print_speedup_series ~title series =
+  header title;
+  (match series with
+  | [] -> ()
+  | first :: _ ->
+      Printf.printf "%-24s" "speedup";
+      List.iter
+        (fun p -> Printf.printf " %6dP" p.Experiments.processors)
+        first.Experiments.points;
+      print_newline ());
+  List.iter
+    (fun s ->
+      Printf.printf "%-24s" s.Experiments.series;
+      List.iter
+        (fun p -> Printf.printf " %7.2f" p.Experiments.speedup)
+        s.Experiments.points;
+      print_newline ())
+    series;
+  (* ASCII plot: speedup vs processors, one letter per series. *)
+  print_newline ();
+  let letters = [| 'T'; 'o'; 'n'; 'x'; 'y'; 'z' |] in
+  let maxs = 6.0 in
+  for row = 12 downto 0 do
+    let lo = float_of_int row *. maxs /. 12.0 in
+    let hi = float_of_int (row + 1) *. maxs /. 12.0 in
+    Printf.printf "%5.1f |" lo;
+    List.iteri
+      (fun _ () -> ())
+      [];
+    let cols = 6 in
+    for p = 1 to cols do
+      let cell = ref ' ' in
+      List.iteri
+        (fun si s ->
+          List.iter
+            (fun pt ->
+              if
+                pt.Experiments.processors = p
+                && pt.Experiments.speedup >= lo
+                && pt.Experiments.speedup < hi
+              then cell := letters.(si mod Array.length letters))
+            s.Experiments.points)
+        series;
+      Printf.printf "   %c   " !cell
+    done;
+    print_newline ()
+  done;
+  Printf.printf "      +";
+  for _ = 1 to 6 do
+    Printf.printf "-------"
+  done;
+  print_newline ();
+  Printf.printf "       ";
+  for p = 1 to 6 do
+    Printf.printf "   %d   " p
+  done;
+  print_newline ();
+  List.iteri
+    (fun si s ->
+      Printf.printf "  %c = %s\n"
+        letters.(si mod Array.length letters)
+        s.Experiments.series)
+    series
+
+let print_exec_time_series ~title series =
+  header title;
+  (match series with
+  | [] -> ()
+  | first :: _ ->
+      Printf.printf "%-24s" "exec time (s)";
+      List.iter
+        (fun p -> Printf.printf " %5d%%" p.Experiments.memory_percent)
+        first.Experiments.io_points;
+      print_newline ());
+  List.iter
+    (fun s ->
+      Printf.printf "%-24s" s.Experiments.io_series;
+      List.iter
+        (fun p -> Printf.printf " %6.2f" p.Experiments.exec_time_s)
+        s.Experiments.io_points;
+      print_newline ())
+    series
+
+let print_multiprog ~title rows =
+  header title;
+  Printf.printf "%-40s %10s %10s\n" "System" "speedup" "paper";
+  List.iter
+    (fun r ->
+      Printf.printf "%-40s %10.2f %s\n" r.Experiments.mp_system
+        r.Experiments.mp_speedup (opt_f r.Experiments.mp_paper))
+    rows;
+  Printf.printf "(maximum possible: 3.00)\n"
+
+let print_upcalls ~title rows =
+  header title;
+  Printf.printf "%-48s %12s %10s\n" "Configuration" "SigWait(us)" "paper";
+  List.iter
+    (fun r ->
+      Printf.printf "%-48s %12.1f %s\n" r.Experiments.u_config
+        r.Experiments.u_signal_wait_us (opt_f r.Experiments.u_paper))
+    rows
+
+let print_ablation ~title rows =
+  header title;
+  List.iter
+    (fun r ->
+      Printf.printf "%-56s %12.2f %s\n" r.Experiments.a_label
+        r.Experiments.a_value r.Experiments.a_unit)
+    rows
+
+let print_server ~title rows =
+  header title;
+  Printf.printf "%-28s %10s %10s %10s\n" "System" "mean(us)" "p95(us)" "p99(us)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s %10.0f %10.0f %10.0f\n" r.Experiments.s_system
+        r.Experiments.s_mean_us r.Experiments.s_p95_us r.Experiments.s_p99_us)
+    rows

@@ -1,0 +1,17 @@
+(** ASCII rendering of experiment results, paper-vs-measured. *)
+
+val print_latency_table :
+  title:string -> Experiments.latency_row list -> unit
+
+val print_speedup_series :
+  title:string -> Experiments.speedup_series list -> unit
+(** Prints the speedup matrix plus a crude ASCII plot. *)
+
+val print_exec_time_series :
+  title:string -> Experiments.exec_time_series list -> unit
+
+val print_multiprog : title:string -> Experiments.multiprog_row list -> unit
+val print_upcalls : title:string -> Experiments.upcall_row list -> unit
+val print_ablation : title:string -> Experiments.ablation_row list -> unit
+
+val print_server : title:string -> Experiments.server_row list -> unit

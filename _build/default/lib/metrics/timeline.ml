@@ -1,0 +1,87 @@
+module Time = Sa_engine.Time
+module Sim = Sa_engine.Sim
+module Cpu = Sa_hw.Cpu
+module Machine = Sa_hw.Machine
+module System = Sa.System
+
+let max_columns = 4096
+
+type t = {
+  sys : System.t;
+  resolution : Time.span;
+  names : (int, string) Hashtbl.t;  (* space id -> name initial source *)
+  mutable columns : char array list;  (* newest first *)
+  mutable count : int;
+}
+
+let sample t =
+  let m = System.machine t.sys in
+  let col =
+    Array.map
+      (fun cpu ->
+        match Cpu.occupant cpu with
+        | Cpu.Nobody -> '.'
+        | Cpu.Kernel_idle -> '.'
+        | Cpu.Occupant { space; detail = _ } -> (
+            let name =
+              match Hashtbl.find_opt t.names space with
+              | Some n -> n
+              | None ->
+                  let n =
+                    match
+                      Sa_kernel.Kernel.find_space (System.kernel t.sys) space
+                    with
+                    | Some sp -> Sa_kernel.Kernel.space_name sp
+                    | None -> ""
+                  in
+                  Hashtbl.replace t.names space n;
+                  n
+            in
+            match name with
+            | "" -> Char.chr (Char.code 'A' + (space mod 26))
+            | n -> Char.lowercase_ascii n.[0]))
+      (Machine.cpus m)
+  in
+  t.columns <- col :: t.columns;
+  t.count <- t.count + 1;
+  if t.count > max_columns then begin
+    t.columns <- List.filteri (fun i _ -> i < max_columns) t.columns;
+    t.count <- max_columns
+  end
+
+let attach sys ~resolution =
+  if resolution <= 0 then invalid_arg "Timeline.attach: resolution";
+  let t =
+    { sys; resolution; names = Hashtbl.create 8; columns = []; count = 0 }
+  in
+  let sim = System.sim sys in
+  let rec tick () =
+    sample t;
+    (* Keep sampling only while other events are pending, so the timeline
+       does not keep the simulation alive forever. *)
+    if Sim.pending sim > 0 then
+      ignore (Sim.schedule_after sim ~delay:t.resolution tick)
+  in
+  ignore (Sim.schedule_after sim ~delay:t.resolution tick);
+  t
+
+let samples t = t.count
+
+let render ?(width = 72) t ppf =
+  let cols = Array.of_list (List.rev t.columns) in
+  let n = Array.length cols in
+  if n = 0 then Format.fprintf ppf "(no samples)@."
+  else begin
+    let stride = max 1 ((n + width - 1) / width) in
+    let shown = (n + stride - 1) / stride in
+    let cpus = Array.length cols.(0) in
+    Format.fprintf ppf "one column = %a (%d samples)@." Time.pp_span
+      (t.resolution * stride) n;
+    for cpu = 0 to cpus - 1 do
+      Format.fprintf ppf "cpu%d |" cpu;
+      for i = 0 to shown - 1 do
+        Format.pp_print_char ppf cols.(i * stride).(cpu)
+      done;
+      Format.pp_print_newline ppf ()
+    done
+  end

@@ -1,0 +1,27 @@
+(** ASCII processor-occupancy timeline.
+
+    Samples which address space occupies each simulated processor at a fixed
+    resolution and renders a Gantt-style chart — the quickest way to {e see}
+    the space-sharing allocator move processors between jobs, daemons steal
+    a slot, or original FastThreads lose processors to blocked virtual
+    processors.
+
+    {[
+      let tl = Timeline.attach sys ~resolution:(Time.ms 5) in
+      ... System.run sys ...
+      Timeline.render tl Format.std_formatter
+    ]} *)
+
+type t
+
+val attach : Sa.System.t -> resolution:Sa_engine.Time.span -> t
+(** Start sampling.  Sampling stops by itself once the simulation goes
+    quiet; samples are capped (oldest kept) at a few thousand columns. *)
+
+val samples : t -> int
+(** Columns collected so far. *)
+
+val render : ?width:int -> t -> Format.formatter -> unit
+(** Print one row per processor; each column is one sample.  Cells show the
+    first letter of the occupying address space's name ([.] for idle).
+    [width] (default 72) caps the number of columns by striding. *)

@@ -1,0 +1,1 @@
+lib/models/actor.ml: Queue Sa_engine Sa_program

@@ -1,0 +1,1 @@
+lib/models/actor.mli: Sa_engine Sa_program

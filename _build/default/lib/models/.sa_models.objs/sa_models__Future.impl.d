@@ -1,0 +1,1 @@
+lib/models/future.ml: Sa_program

@@ -1,0 +1,1 @@
+lib/models/future.mli: Sa_engine Sa_program

@@ -1,0 +1,1 @@
+lib/models/workcrew.ml: List Queue Sa_engine Sa_program

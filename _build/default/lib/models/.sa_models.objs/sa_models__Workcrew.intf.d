@@ -1,0 +1,1 @@
+lib/models/workcrew.mli: Sa_engine Sa_program

@@ -1,0 +1,36 @@
+(** A minimal Actors model [Agha 86] — the third concurrency model the
+    paper names — built, like the others, purely on the thread package: an
+    actor is a thread, its mailbox a lock-protected queue with a counting
+    semaphore for arrival notification.
+
+    Messages are host-level values of one type per actor.  Actors and the
+    programs using them are single-use. *)
+
+type 'msg t
+
+val create : ?name:string -> unit -> 'msg t
+(** A mailbox; pair it with {!spawn_handler} (or drive it manually with
+    {!send} / {!receive}). *)
+
+val send : 'msg t -> 'msg -> unit Sa_program.Program.Build.m
+(** Enqueue a message; wakes the actor if it is waiting.  Costs one
+    lock/unlock plus a semaphore V. *)
+
+val receive : 'msg t -> 'msg Sa_program.Program.Build.m
+(** Dequeue the next message, blocking (at user level) while the mailbox is
+    empty. *)
+
+val pending : 'msg t -> int
+(** Host-level mailbox length (tests). *)
+
+val spawn_handler :
+  'msg t ->
+  work_per_message:Sa_engine.Time.span ->
+  ?handle:('msg -> unit) ->
+  stop:('msg -> bool) ->
+  unit ->
+  Sa_program.Program.thread_id Sa_program.Program.Build.m
+(** Fork the actor's behaviour thread: receive a message, spend
+    [work_per_message] of simulated compute, apply [handle], and loop — until
+    a message satisfying [stop] arrives (it is handled first).  Returns the
+    thread id so the owner can [join] it. *)

@@ -1,0 +1,58 @@
+module P = Sa_program.Program
+module B = P.Build
+
+type 'a t = {
+  cell : 'a option ref;
+  done_sem : P.Sem.t;  (* V'd once at resolution *)
+}
+
+let create () =
+  { cell = ref None; done_sem = P.Sem.create ~name:"future" ~initial:0 () }
+
+let is_resolved f = !(f.cell) <> None
+
+(* Resolution V's the semaphore once; each toucher that finds the future
+   unresolved P's it and immediately V's it again, so every waiter gets
+   through — a broadcast built from a counting semaphore. *)
+let resolve fut value =
+  let open B in
+  let* () = return (fut.cell := Some value) in
+  sem_v fut.done_sem
+
+let value_of fut =
+  match !(fut.cell) with
+  | Some v -> v
+  | None -> invalid_arg "Future: touched an unresolved future"
+
+let get fut =
+  let open B in
+  if is_resolved fut then return (value_of fut)
+  else
+    let* () = sem_p fut.done_sem in
+    (* pass the token on to the next waiter *)
+    let* () = sem_v fut.done_sem in
+    return (value_of fut)
+
+let spawn ~work f =
+  let open B in
+  let fut = create () in
+  let producer =
+    B.to_program
+      (let* () = compute work in
+       resolve fut (f ()))
+  in
+  let* _tid = fork producer in
+  return fut
+
+let map2 ~work f a b =
+  let open B in
+  let fut = create () in
+  let producer =
+    B.to_program
+      (let* va = get a in
+       let* vb = get b in
+       let* () = compute work in
+       resolve fut (f va vb))
+  in
+  let* _tid = fork producer in
+  return fut

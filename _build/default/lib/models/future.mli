@@ -1,0 +1,36 @@
+(** Futures in the style of Multilisp [Halstead 85] — the second alternative
+    concurrency model named by the paper's flexibility argument.
+
+    A future is created with a compute span and a host-level producer
+    function; touching it ([get]) blocks the toucher at user level until the
+    producing thread has finished, then yields the produced value to the
+    continuation.  Everything compiles to ordinary {!Sa_program.Program}
+    operations (fork + semaphore), so futures run unchanged on every
+    threading backend.
+
+    Values are host-level OCaml values threaded through the program's
+    continuations; a future (and the program using it) is single-use. *)
+
+type 'a t
+
+val spawn :
+  work:Sa_engine.Time.span -> (unit -> 'a) -> 'a t Sa_program.Program.Build.m
+(** [spawn ~work f] forks a thread that computes for [work] of simulated
+    time and then resolves the future with [f ()]. *)
+
+val get : 'a t -> 'a Sa_program.Program.Build.m
+(** Touch the future: returns immediately if resolved, otherwise blocks at
+    user level until the producer finishes. *)
+
+val is_resolved : 'a t -> bool
+(** Host-level peek (no simulated cost); mainly for tests. *)
+
+val map2 :
+  work:Sa_engine.Time.span ->
+  ('a -> 'b -> 'c) ->
+  'a t ->
+  'b t ->
+  'c t Sa_program.Program.Build.m
+(** [map2 ~work f a b] spawns a thread that touches both futures, computes
+    for [work], and resolves with [f va vb] — the building block of
+    divide-and-conquer trees. *)

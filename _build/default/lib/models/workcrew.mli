@@ -1,0 +1,37 @@
+(** The WorkCrews concurrency model [Vandevoorde & Roberts 88], built on the
+    thread package — one of the alternative parallel programming models the
+    paper's flexibility argument names (Sections 1.2, 3.1): because the
+    kernel knows nothing about user-level concurrency structures, a
+    different model is just a different library over the same substrate.
+
+    A {e crew} of worker threads drains a shared bag of {!task}s under a
+    single lock; a finishing task may add new tasks (fork-join trees,
+    wavefronts).  The crew terminates when the bag is empty and no task is
+    in flight. *)
+
+type task = {
+  work : Sa_engine.Time.span;  (** compute span of this task *)
+  label : int;  (** reported to the completion observer *)
+  children : task list;  (** enqueued when this task finishes *)
+}
+
+val task : ?label:int -> ?children:task list -> Sa_engine.Time.span -> task
+
+val total_tasks : task list -> int
+(** Number of tasks in the forest (including all descendants). *)
+
+val total_work : task list -> Sa_engine.Time.span
+(** Sum of all task spans in the forest. *)
+
+val run :
+  workers:int ->
+  ?on_task:(int -> unit) ->
+  task list ->
+  Sa_program.Program.t
+(** [run ~workers tasks] builds a program whose main thread forks [workers]
+    crew members, feeds them the task forest through a lock-protected bag,
+    and joins them once everything has drained.  [on_task] fires (in
+    simulation order) with each completed task's label.  Raises
+    [Invalid_argument] if [workers <= 0].
+
+    The program value is single-use: it owns the mutable bag. *)

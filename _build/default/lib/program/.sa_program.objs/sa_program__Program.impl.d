@@ -1,0 +1,1 @@
+lib/program/program.ml: Format Printf Sa_engine

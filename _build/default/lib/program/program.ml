@@ -1,0 +1,232 @@
+type span = Sa_engine.Time.span
+type thread_id = int
+
+let next_object_id = ref 0
+
+let fresh_id () =
+  incr next_object_id;
+  !next_object_id
+
+module Mutex = struct
+  type t = { mid : int; mname : string }
+
+  let create ?name () =
+    let mid = fresh_id () in
+    let mname =
+      match name with Some n -> n | None -> Printf.sprintf "mutex#%d" mid
+    in
+    { mid; mname }
+
+  let id t = t.mid
+  let name t = t.mname
+end
+
+module Cond = struct
+  type t = { cid : int; cname : string }
+
+  let create ?name () =
+    let cid = fresh_id () in
+    let cname =
+      match name with Some n -> n | None -> Printf.sprintf "cond#%d" cid
+    in
+    { cid; cname }
+
+  let id t = t.cid
+  let name t = t.cname
+end
+
+module Sem = struct
+  type t = { sid : int; sname : string; sinitial : int }
+
+  let create ?name ~initial () =
+    if initial < 0 then invalid_arg "Sem.create: negative initial";
+    let sid = fresh_id () in
+    let sname =
+      match name with Some n -> n | None -> Printf.sprintf "sem#%d" sid
+    in
+    { sid; sname; sinitial = initial }
+
+  let id t = t.sid
+  let name t = t.sname
+  let initial t = t.sinitial
+end
+
+type t =
+  | Done
+  | Compute of span * (unit -> t)
+  | Acquire of Mutex.t * (unit -> t)
+  | Release of Mutex.t * (unit -> t)
+  | Wait of Cond.t * Mutex.t * (unit -> t)
+  | Signal of Cond.t * (unit -> t)
+  | Broadcast of Cond.t * (unit -> t)
+  | Sem_p of Sem.t * (unit -> t)
+  | Sem_v of Sem.t * (unit -> t)
+  | Ksem_p of Sem.t * (unit -> t)
+  | Ksem_v of Sem.t * (unit -> t)
+  | Fork of t * (thread_id -> t)
+  | Join of thread_id * (unit -> t)
+  | Io of span * (unit -> t)
+  | Cache_read of int * (unit -> t)
+  | Yield of (unit -> t)
+  | Stamp of int * (unit -> t)
+  | Set_priority of int * (unit -> t)
+
+module Build = struct
+  type 'a m = ('a -> t) -> t
+
+  let return x k = k x
+  let bind m f k = m (fun x -> f x k)
+  let ( let* ) = bind
+  let to_program m = m (fun () -> Done)
+  let compute d k = Compute (d, fun () -> k ())
+  let acquire m k = Acquire (m, fun () -> k ())
+  let release m k = Release (m, fun () -> k ())
+
+  let critical m body =
+    let* () = acquire m in
+    let* () = body in
+    release m
+
+  let wait c m k = Wait (c, m, fun () -> k ())
+  let signal c k = Signal (c, fun () -> k ())
+  let broadcast c k = Broadcast (c, fun () -> k ())
+  let sem_p s k = Sem_p (s, fun () -> k ())
+  let sem_v s k = Sem_v (s, fun () -> k ())
+  let ksem_p s k = Ksem_p (s, fun () -> k ())
+  let ksem_v s k = Ksem_v (s, fun () -> k ())
+  let fork prog k = Fork (prog, k)
+  let fork_unit prog k = Fork (prog, fun _tid -> k ())
+  let join tid k = Join (tid, fun () -> k ())
+  let io d k = Io (d, fun () -> k ())
+  let cache_read b k = Cache_read (b, fun () -> k ())
+  let yield k = Yield (fun () -> k ())
+  let stamp id k = Stamp (id, fun () -> k ())
+  let set_priority p k = Set_priority (p, fun () -> k ())
+
+  let repeat n f =
+    let rec go i = if i >= n then return () else bind (f i) (fun () -> go (i + 1)) in
+    go 0
+
+  let iter_list xs f =
+    let rec go = function
+      | [] -> return ()
+      | x :: rest -> bind (f x) (fun () -> go rest)
+    in
+    go xs
+
+  let when_ cond body = if cond then body else return ()
+end
+
+let null = Done
+let compute_only d = Compute (d, fun () -> Done)
+
+let op_count prog ~max =
+  let rec go n prog =
+    if n >= max then n
+    else
+      match prog with
+      | Done -> n
+      | Compute (_, k)
+      | Acquire (_, k)
+      | Release (_, k)
+      | Wait (_, _, k)
+      | Signal (_, k)
+      | Broadcast (_, k)
+      | Sem_p (_, k)
+      | Sem_v (_, k)
+      | Ksem_p (_, k)
+      | Ksem_v (_, k)
+      | Join (_, k)
+      | Io (_, k)
+      | Cache_read (_, k)
+      | Yield k
+      | Stamp (_, k)
+      | Set_priority (_, k) ->
+          go (n + 1) (k ())
+      | Fork (child, k) ->
+          let n = go (n + 1) child in
+          if n >= max then n else go n (k (-1))
+  in
+  go 0 prog
+
+let pp ppf prog =
+  let budget = ref 200 in
+  let rec go ppf prog depth =
+    if !budget <= 0 || depth > 8 then Format.pp_print_string ppf "..."
+    else begin
+      decr budget;
+      match prog with
+      | Done -> Format.pp_print_string ppf "done"
+      | Compute (d, k) ->
+          Format.fprintf ppf "compute(%a); %a" Sa_engine.Time.pp_span d
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Acquire (m, k) ->
+          Format.fprintf ppf "acquire(%s); %a" (Mutex.name m)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Release (m, k) ->
+          Format.fprintf ppf "release(%s); %a" (Mutex.name m)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Wait (c, m, k) ->
+          Format.fprintf ppf "wait(%s,%s); %a" (Cond.name c) (Mutex.name m)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Signal (c, k) ->
+          Format.fprintf ppf "signal(%s); %a" (Cond.name c)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Broadcast (c, k) ->
+          Format.fprintf ppf "broadcast(%s); %a" (Cond.name c)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Sem_p (s, k) ->
+          Format.fprintf ppf "P(%s); %a" (Sem.name s)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Sem_v (s, k) ->
+          Format.fprintf ppf "V(%s); %a" (Sem.name s)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Ksem_p (s, k) ->
+          Format.fprintf ppf "kP(%s); %a" (Sem.name s)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Ksem_v (s, k) ->
+          Format.fprintf ppf "kV(%s); %a" (Sem.name s)
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Fork (child, k) ->
+          Format.fprintf ppf "fork{%a}; %a"
+            (fun ppf () -> go ppf child (depth + 1))
+            ()
+            (fun ppf () -> go ppf (k (-1)) depth)
+            ()
+      | Join (tid, k) ->
+          Format.fprintf ppf "join(%d); %a" tid
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Io (d, k) ->
+          Format.fprintf ppf "io(%a); %a" Sa_engine.Time.pp_span d
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Cache_read (b, k) ->
+          Format.fprintf ppf "read(%d); %a" b
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Yield k ->
+          Format.fprintf ppf "yield; %a"
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Stamp (id, k) ->
+          Format.fprintf ppf "stamp(%d); %a" id
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+      | Set_priority (p, k) ->
+          Format.fprintf ppf "prio(%d); %a" p
+            (fun ppf () -> go ppf (k ()) depth)
+            ()
+    end
+  in
+  go ppf prog 0

@@ -1,0 +1,146 @@
+(** Thread programs.
+
+    A workload is expressed as a value of type {!t}: a continuation-passing
+    description of what a thread does — compute for a while, take locks,
+    wait on conditions, fork children, read cached blocks, block on I/O.
+    Every threading backend (Topaz kernel threads, FastThreads on kernel
+    threads, FastThreads on scheduler activations, Ultrix processes)
+    interprets the same program type, charging its own costs for each
+    operation; this is what makes the paper's cross-system comparisons
+    apples-to-apples.
+
+    Synchronization objects ({!Mutex.t}, {!Cond.t}, {!Sem.t}) are pure
+    identities: backends attach their own state to them.  A program value is
+    reusable across runs and backends. *)
+
+type span = Sa_engine.Time.span
+
+type thread_id = int
+(** Runtime identity of a spawned thread, scoped to one run. *)
+
+module Mutex : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val id : t -> int
+  val name : t -> string
+end
+
+module Cond : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val id : t -> int
+  val name : t -> string
+end
+
+(** Counting semaphore (Birrell-style binary/counting event). *)
+module Sem : sig
+  type t
+
+  val create : ?name:string -> initial:int -> unit -> t
+  val id : t -> int
+  val name : t -> string
+  val initial : t -> int
+end
+
+type t =
+  | Done
+      (** thread exits *)
+  | Compute of span * (unit -> t)
+      (** execute [span] of pure application compute *)
+  | Acquire of Mutex.t * (unit -> t)
+  | Release of Mutex.t * (unit -> t)
+  | Wait of Cond.t * Mutex.t * (unit -> t)
+      (** atomically release the mutex and block; re-acquires on wakeup *)
+  | Signal of Cond.t * (unit -> t)
+  | Broadcast of Cond.t * (unit -> t)
+  | Sem_p of Sem.t * (unit -> t)
+  | Sem_v of Sem.t * (unit -> t)
+  | Ksem_p of Sem.t * (unit -> t)
+      (** P on a {e kernel-level} semaphore: synchronization is forced
+          through the kernel even on user-level thread systems (the upcall
+          performance benchmark of Section 5.2) *)
+  | Ksem_v of Sem.t * (unit -> t)
+  | Fork of t * (thread_id -> t)
+      (** spawn a child running the given program *)
+  | Join of thread_id * (unit -> t)
+  | Io of span * (unit -> t)
+      (** block in the kernel for [span] (device I/O) *)
+  | Cache_read of int * (unit -> t)
+      (** read a block through the address space's buffer cache; a miss
+          blocks in the kernel for the configured I/O latency *)
+  | Yield of (unit -> t)
+  | Stamp of int * (unit -> t)
+      (** zero-cost timestamp marker: the executing backend reports
+          (marker, current simulated time) to its observer — the measurement
+          hook for the latency benchmarks *)
+  | Set_priority of int * (unit -> t)
+      (** set the calling thread's priority (higher runs first).  A
+          user-level scheduling feature: the FastThreads backends honour it
+          in their ready lists and, under scheduler activations, ask the
+          kernel to interrupt a processor running lower-priority work
+          (Section 3.1); the kernel-thread backends ignore it — kernel
+          threads are scheduled obliviously, which is the paper's point *)
+
+(** Monadic builder for writing programs in direct style:
+    {[
+      let prog =
+        Program.Build.(
+          to_program
+            (let* child = fork (compute (Time.us 100)) in
+             let* () = join child in
+             return ()))
+    ]} *)
+module Build : sig
+  type 'a m
+
+  val return : 'a -> 'a m
+  val ( let* ) : 'a m -> ('a -> 'b m) -> 'b m
+  val bind : 'a m -> ('a -> 'b m) -> 'b m
+  val to_program : unit m -> t
+
+  val compute : span -> unit m
+  val acquire : Mutex.t -> unit m
+  val release : Mutex.t -> unit m
+
+  val critical : Mutex.t -> unit m -> unit m
+  (** [critical m body] is acquire; body; release. *)
+
+  val wait : Cond.t -> Mutex.t -> unit m
+  val signal : Cond.t -> unit m
+  val broadcast : Cond.t -> unit m
+  val sem_p : Sem.t -> unit m
+  val sem_v : Sem.t -> unit m
+  val ksem_p : Sem.t -> unit m
+  val ksem_v : Sem.t -> unit m
+  val fork : t -> thread_id m
+  val fork_unit : t -> unit m
+  val join : thread_id -> unit m
+  val io : span -> unit m
+  val cache_read : int -> unit m
+  val yield : unit m
+  val stamp : int -> unit m
+  val set_priority : int -> unit m
+
+  val repeat : int -> (int -> unit m) -> unit m
+  (** [repeat n f] runs [f 0; f 1; ...; f (n-1)] in sequence. *)
+
+  val iter_list : 'a list -> ('a -> unit m) -> unit m
+  val when_ : bool -> unit m -> unit m
+end
+
+val null : t
+(** The empty program (exits immediately). *)
+
+val compute_only : span -> t
+(** A thread that computes for [span] then exits. *)
+
+val op_count : t -> max:int -> int
+(** Statically walk the program, counting operations up to [max] (programs
+    can be infinite through recursion; [max] bounds the walk).  For tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the program's structure (operations and spans; continuations are
+    followed, forks recurse).  Deep or recursive programs are elided with
+    ["..."] past a depth/length budget.  For debugging and tests. *)

@@ -1,0 +1,1 @@
+lib/uthread/deque.ml: List

@@ -1,0 +1,1 @@
+lib/uthread/ft_core.ml: Array Deque Hashtbl List Option Printf Queue Sa_engine Sa_hw Sa_program

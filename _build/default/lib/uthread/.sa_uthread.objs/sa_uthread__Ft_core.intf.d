@@ -1,0 +1,1 @@
+lib/uthread/ft_core.mli: Sa_engine Sa_hw Sa_program

@@ -1,0 +1,1 @@
+lib/uthread/ft_kt.ml: Array Ft_core Printf Sa_engine Sa_hw Sa_kernel Sa_program

@@ -1,0 +1,1 @@
+lib/uthread/ft_kt.mli: Ft_core Sa_engine Sa_hw Sa_kernel Sa_program

@@ -1,0 +1,1 @@
+lib/uthread/ft_sa.ml: Ft_core Hashtbl List Option Printf Sa_engine Sa_hw Sa_kernel Sa_program String

@@ -1,0 +1,1 @@
+lib/uthread/kt_direct.ml: Hashtbl List Option Printf Queue Sa_engine Sa_hw Sa_kernel Sa_program

@@ -1,0 +1,1 @@
+lib/uthread/kt_direct.mli: Sa_engine Sa_hw Sa_kernel Sa_program

@@ -1,0 +1,79 @@
+type 'a t = {
+  mutable front : 'a list;
+  mutable back : 'a list;  (* reversed *)
+  mutable size : int;
+}
+
+let create () = { front = []; back = []; size = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let push_front t x =
+  t.front <- x :: t.front;
+  t.size <- t.size + 1
+
+let push_back t x =
+  t.back <- x :: t.back;
+  t.size <- t.size + 1
+
+let pop_front t =
+  match t.front with
+  | x :: rest ->
+      t.front <- rest;
+      t.size <- t.size - 1;
+      Some x
+  | [] -> (
+      match List.rev t.back with
+      | [] -> None
+      | x :: rest ->
+          t.back <- [];
+          t.front <- rest;
+          t.size <- t.size - 1;
+          Some x)
+
+let pop_back t =
+  match t.back with
+  | x :: rest ->
+      t.back <- rest;
+      t.size <- t.size - 1;
+      Some x
+  | [] -> (
+      match List.rev t.front with
+      | [] -> None
+      | x :: rest ->
+          t.front <- [];
+          t.back <- rest;
+          t.size <- t.size - 1;
+          Some x)
+
+let to_list t = t.front @ List.rev t.back
+
+let of_list t items =
+  t.front <- items;
+  t.back <- [];
+  t.size <- List.length items
+
+let remove_first t pred =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+        if pred x then begin
+          of_list t (List.rev_append acc rest);
+          Some x
+        end
+        else go (x :: acc) rest
+  in
+  go [] (to_list t)
+
+let remove_last t pred =
+  (* walk back-to-front; on a match rebuild the deque front-first *)
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+        if pred x then begin
+          of_list t (List.rev (List.rev_append acc rest));
+          Some x
+        end
+        else go (x :: acc) rest
+  in
+  go [] (List.rev (to_list t))

@@ -1,0 +1,23 @@
+(** Double-ended queue (amortised O(1) at both ends).
+
+    The per-processor ready lists of FastThreads push and pop at the front
+    (last-in-first-out, for cache locality — Section 4.2) while idle
+    processors steal from the back (oldest thread first). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push_front : 'a t -> 'a -> unit
+val pop_front : 'a t -> 'a option
+val push_back : 'a t -> 'a -> unit
+val pop_back : 'a t -> 'a option
+val to_list : 'a t -> 'a list
+(** Front first. *)
+
+val remove_first : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the front-most element satisfying the predicate. *)
+
+val remove_last : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the back-most element satisfying the predicate. *)

@@ -1,0 +1,687 @@
+module Time = Sa_engine.Time
+module Program = Sa_program.Program
+module Cost_model = Sa_hw.Cost_model
+module Buffer_cache = Sa_hw.Buffer_cache
+module Io_device = Sa_hw.Io_device
+
+type strategy = Copy_sections | Explicit_flag
+type tstate = Embryo | Ready | Running | Blocked_user | Blocked_kernel | Done
+
+type cs_cell = { mutable owner : int option }
+
+type tcb = {
+  tid : int;
+  name : string;
+  mutable prio : int;  (* higher runs first; children inherit the forker's *)
+  mutable tstate : tstate;
+  mutable resume : unit -> unit;  (* valid when Ready *)
+  mutable binding : int;  (* vessel index the thread last ran on *)
+  mutable held_cell : cs_cell option;
+  mutable cs_hook : (unit -> unit) option;
+      (* set while the thread is being "temporarily continued" through a
+         critical section after a preemption (Section 3.3): at section exit
+         the thread parks itself on the ready list and control returns to
+         the original upcall via this hook *)
+  mutable joiners : tcb list;
+}
+
+type stats = {
+  mutable forks : int;
+  mutable completions : int;
+  mutable dispatches : int;
+  mutable steals : int;
+  mutable ublocks : int;
+  mutable kblocks : int;
+  mutable cs_spin_ns : int;
+  mutable cs_recoveries : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+type mutex_state = {
+  m_cell : cs_cell;
+  mutable m_holder : int option;  (* tid *)
+  m_waiters : tcb Queue.t;
+}
+
+type cond_state = {
+  c_cell : cs_cell;
+  c_waiters : (tcb * Program.Mutex.t) Queue.t;
+}
+
+type sem_state = {
+  s_cell : cs_cell;
+  mutable s_count : int;
+  s_waiters : tcb Queue.t;
+}
+
+(* Kernel-level semaphore: waiters block in the kernel and come back through
+   the substrate's kernel-wakeup path (an upcall under activations). *)
+type ksem_state = {
+  mutable k_count : int;
+  k_waiters : (unit -> unit) Queue.t;  (* kernel wake functions *)
+}
+
+type state = {
+  queues : tcb Deque.t array;
+  q_cells : cs_cell array;
+  mutable next_tid : int;
+  mutable live : int;
+  mutable ready_count : int;
+  mutable running_count : int;
+  threads : (int, tcb) Hashtbl.t;
+  mutexes : (int, mutex_state) Hashtbl.t;
+  conds : (int, cond_state) Hashtbl.t;
+  sems : (int, sem_state) Hashtbl.t;
+  ksems : (int, ksem_state) Hashtbl.t;
+  mutable has_priorities : bool;
+      (* fast path: ready lists stay plain LIFO deques until some thread
+         actually sets a non-zero priority *)
+  cache : Buffer_cache.t option;
+  io_dev : Io_device.t option;
+  cache_waiters : (int, tcb list) Hashtbl.t;
+  st : stats;
+}
+
+type driver = {
+  costs : Cost_model.t;
+  strategy : strategy;
+  sa_accounting : bool;
+  io_latency : Time.span;
+  charge : tcb -> Time.span -> (unit -> unit) -> unit;
+  block_io : tcb -> Time.span -> (unit -> unit) -> unit;
+  block_kernel :
+    tcb -> register:((unit -> unit) -> unit) -> (unit -> unit) -> unit;
+  thread_stopped : tcb -> unit;
+  work_created : state -> tcb -> unit;
+  all_done : unit -> unit;
+  on_stamp : int -> unit;
+}
+
+let tcb_id t = t.tid
+let tcb_name t = t.name
+let tcb_priority t = t.prio
+let tcb_state t = t.tstate
+let tcb_in_cs t = t.held_cell <> None
+let tcb_binding t = t.binding
+let cell_owner c = c.owner
+
+let create_state ~queues ?cache ?io_dev () =
+  if queues <= 0 then invalid_arg "Ft_core.create_state: queues";
+  {
+    queues = Array.init queues (fun _ -> Deque.create ());
+    q_cells = Array.init queues (fun _ -> { owner = None });
+    next_tid = 0;
+    live = 0;
+    ready_count = 0;
+    running_count = 0;
+    threads = Hashtbl.create 64;
+    has_priorities = false;
+    mutexes = Hashtbl.create 16;
+    conds = Hashtbl.create 16;
+    sems = Hashtbl.create 16;
+    ksems = Hashtbl.create 16;
+    cache;
+    io_dev;
+    cache_waiters = Hashtbl.create 16;
+    st =
+      {
+        forks = 0;
+        completions = 0;
+        dispatches = 0;
+        steals = 0;
+        ublocks = 0;
+        kblocks = 0;
+        cs_spin_ns = 0;
+        cs_recoveries = 0;
+        cache_hits = 0;
+        cache_misses = 0;
+      };
+  }
+
+let stats s = s.st
+let live_threads s = s.live
+let ready_threads s = s.ready_count
+let runnable_threads s = s.ready_count + s.running_count
+let finished s = s.live = 0
+
+let state_counts s =
+  let states =
+    [ Embryo; Ready; Running; Blocked_user; Blocked_kernel; Done ]
+  in
+  List.map
+    (fun st ->
+      let n =
+        Hashtbl.fold
+          (fun _ tcb acc -> if tcb.tstate = st then acc + 1 else acc)
+          s.threads 0
+      in
+      (st, n))
+    states
+
+let threads_in s st =
+  Hashtbl.fold
+    (fun _ tcb acc -> if tcb.tstate = st then tcb :: acc else acc)
+    s.threads []
+
+(* ------------------------------------------------------------------ *)
+(* Sync-object tables                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mutex_state s m =
+  let id = Program.Mutex.id m in
+  match Hashtbl.find_opt s.mutexes id with
+  | Some ms -> ms
+  | None ->
+      let ms =
+        { m_cell = { owner = None }; m_holder = None; m_waiters = Queue.create () }
+      in
+      Hashtbl.replace s.mutexes id ms;
+      ms
+
+let cond_state s c =
+  let id = Program.Cond.id c in
+  match Hashtbl.find_opt s.conds id with
+  | Some cs -> cs
+  | None ->
+      let cs = { c_cell = { owner = None }; c_waiters = Queue.create () } in
+      Hashtbl.replace s.conds id cs;
+      cs
+
+let sem_state s sem =
+  let id = Program.Sem.id sem in
+  match Hashtbl.find_opt s.sems id with
+  | Some ss -> ss
+  | None ->
+      let ss =
+        {
+          s_cell = { owner = None };
+          s_count = Program.Sem.initial sem;
+          s_waiters = Queue.create ();
+        }
+      in
+      Hashtbl.replace s.sems id ss;
+      ss
+
+let ksem_state s sem =
+  let id = Program.Sem.id sem in
+  match Hashtbl.find_opt s.ksems id with
+  | Some ks -> ks
+  | None ->
+      let ks =
+        { k_count = Program.Sem.initial sem; k_waiters = Queue.create () }
+      in
+      Hashtbl.replace s.ksems id ks;
+      ks
+
+(* ------------------------------------------------------------------ *)
+(* Ready lists                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let queue_cell s i = s.q_cells.(i)
+
+let set_state s tcb next =
+  (match tcb.tstate with
+  | Ready -> s.ready_count <- s.ready_count - 1
+  | Running -> s.running_count <- s.running_count - 1
+  | Embryo | Blocked_user | Blocked_kernel | Done -> ());
+  (match next with
+  | Ready -> s.ready_count <- s.ready_count + 1
+  | Running -> s.running_count <- s.running_count + 1
+  | Embryo | Blocked_user | Blocked_kernel | Done -> ());
+  tcb.tstate <- next
+
+let make_ready s d ~at tcb =
+  (match tcb.tstate with
+  | Done -> invalid_arg "make_ready: thread is done"
+  | Running -> invalid_arg "make_ready: thread is running"
+  | Ready -> invalid_arg "make_ready: already ready"
+  | Embryo | Blocked_user | Blocked_kernel -> ());
+  set_state s tcb Ready;
+  Deque.push_front s.queues.(at) tcb;
+  d.work_created s tcb
+
+(* Highest priority wins; LIFO (front) within a priority level for own
+   pops, oldest (back) for steals.  The scan only engages once some thread
+   has a non-zero priority. *)
+let best_prio dq =
+  List.fold_left (fun acc t -> max acc t.prio) min_int (Deque.to_list dq)
+
+let pop_work s index =
+  match Deque.pop_front s.queues.(index) with
+  | Some tcb -> Some (tcb, false)
+  | None ->
+      let n = Array.length s.queues in
+      let rec scan k =
+        if k >= n then None
+        else
+          let j = (index + k) mod n in
+          match Deque.pop_back s.queues.(j) with
+          | Some tcb -> Some (tcb, true)
+          | None -> scan (k + 1)
+      in
+      scan 1
+
+let pop_own s index =
+  let dq = s.queues.(index) in
+  if not s.has_priorities then Deque.pop_front dq
+  else begin
+    (* Priority goal 2 of Section 1.2: no high-priority thread may wait
+       while a low-priority one runs.  Once priorities are in play the
+       dispatch considers every ready list, preferring the local queue on
+       ties (cache affinity yields to priority). *)
+    let best_here = if Deque.is_empty dq then min_int else best_prio dq in
+    let best = ref best_here and best_idx = ref index in
+    Array.iteri
+      (fun i q ->
+        if i <> index && not (Deque.is_empty q) then begin
+          let b = best_prio q in
+          if b > !best then begin
+            best := b;
+            best_idx := i
+          end
+        end)
+      s.queues;
+    if !best = min_int then None
+    else if !best_idx = index then
+      Deque.remove_first dq (fun t -> t.prio = !best)
+    else Deque.remove_last s.queues.(!best_idx) (fun t -> t.prio = !best)
+  end
+
+let steal_from s ~victim =
+  let dq = s.queues.(victim) in
+  if not s.has_priorities then Deque.pop_back dq
+  else if Deque.is_empty dq then None
+  else begin
+    let best = best_prio dq in
+    Deque.remove_last dq (fun t -> t.prio = best)
+  end
+let nqueues s = Array.length s.queues
+let requeue_front s index tcb = Deque.push_front s.queues.(index) tcb
+
+let run_thread s ~index tcb =
+  (match tcb.tstate with
+  | Ready -> ()
+  | Embryo | Running | Blocked_user | Blocked_kernel | Done ->
+      invalid_arg "run_thread: thread not ready");
+  set_state s tcb Running;
+  tcb.binding <- index;
+  s.st.dispatches <- s.st.dispatches + 1;
+  tcb.resume ()
+
+(* ------------------------------------------------------------------ *)
+(* Critical-section cells                                              *)
+(* ------------------------------------------------------------------ *)
+
+let try_lock_cell cell ~owner =
+  match cell.owner with
+  | None ->
+      cell.owner <- Some owner;
+      true
+  | Some _ -> false
+
+let unlock_cell cell = cell.owner <- None
+
+let default_spin_slice = Time.us 10
+
+let spin_lock_cell s cell ~owner ?(slice = default_spin_slice) ~charge k =
+  let slice = max slice (Time.ns 50) in
+  let slice_max = slice * 100 in
+  let rec attempt slice =
+    if try_lock_cell cell ~owner then k ()
+    else begin
+      s.st.cs_spin_ns <- s.st.cs_spin_ns + slice;
+      charge slice (fun () -> attempt (min (slice * 2) slice_max))
+    end
+  in
+  attempt slice
+
+(* ------------------------------------------------------------------ *)
+(* Charged operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let flag_cost d crossings =
+  match d.strategy with
+  | Copy_sections -> 0
+  | Explicit_flag -> crossings * d.costs.Cost_model.ut_critical_flag
+
+let spin_slice d = max (5 * d.costs.Cost_model.ut_lock) (Time.ns 50)
+
+(* Execute one thread-package operation: spin for the protecting cell,
+   charge the operation cost as a critical-section segment, then release and
+   run [after] (the operation's state transition and continuation).  If the
+   thread was preempted mid-section and is being temporarily continued, the
+   section exit parks the thread and returns control to the upcall. *)
+let charge_op s d tcb ~cell ~cost ~crossings after =
+  let cost = cost + flag_cost d crossings in
+  spin_lock_cell s cell ~owner:tcb.tid ~slice:(spin_slice d)
+    ~charge:(fun slice k -> d.charge tcb slice k)
+    (fun () ->
+      tcb.held_cell <- Some cell;
+      d.charge tcb cost (fun () ->
+          unlock_cell cell;
+          tcb.held_cell <- None;
+          match tcb.cs_hook with
+          | None -> after ()
+          | Some hook ->
+              (* Temporarily-continued thread reached the section exit:
+                 relinquish back to the original upcall (Section 3.3). *)
+              tcb.cs_hook <- None;
+              tcb.resume <- after;
+              set_state s tcb Ready;
+              Deque.push_front s.queues.(tcb.binding) tcb;
+              d.work_created s tcb;
+              hook ()))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cs_crossings_null_fork = 6
+let cs_crossings_signal_wait = 3
+
+(* Dispatch cost charged by the substrate driver when it takes a thread off
+   a ready list (one critical-section crossing). *)
+let dispatch_cost d =
+  d.costs.Cost_model.ut_schedule + flag_cost d 1
+
+let sa_extra d v = if d.sa_accounting then v else 0
+
+let rec exec s d tcb prog =
+  let c = d.costs in
+  match prog with
+  | Program.Done ->
+      charge_op s d tcb
+        ~cell:(queue_cell s tcb.binding)
+        ~cost:c.Cost_model.ut_finish ~crossings:1
+        (fun () ->
+          set_state s tcb Done;
+          s.live <- s.live - 1;
+          s.st.completions <- s.st.completions + 1;
+          let joiners = tcb.joiners in
+          tcb.joiners <- [];
+          List.iter (fun j -> make_ready s d ~at:tcb.binding j) joiners;
+          if s.live = 0 then d.all_done ();
+          d.thread_stopped tcb)
+  | Program.Compute (span, k) ->
+      d.charge tcb span (fun () -> exec s d tcb (k ()))
+  | Program.Fork (child_prog, k) ->
+      charge_op s d tcb
+        ~cell:(queue_cell s tcb.binding)
+        ~cost:(c.Cost_model.ut_fork + sa_extra d c.Cost_model.ut_sa_busy_accounting)
+        ~crossings:2
+        (fun () ->
+          let child = new_thread_in s d ~name:"" child_prog in
+          child.prio <- tcb.prio;
+          if child.prio <> 0 then s.has_priorities <- true;
+          s.st.forks <- s.st.forks + 1;
+          make_ready s d ~at:tcb.binding child;
+          exec s d tcb (k child.tid))
+  | Program.Join (tid', k) -> (
+      match Hashtbl.find_opt s.threads tid' with
+      | None -> invalid_arg "Join: unknown thread id"
+      | Some target ->
+          charge_op s d tcb
+            ~cell:(queue_cell s tcb.binding)
+            ~cost:c.Cost_model.ut_join ~crossings:1
+            (fun () ->
+              if target.tstate = Done then exec s d tcb (k ())
+              else begin
+                target.joiners <- tcb :: target.joiners;
+                block_user s d tcb (fun () -> exec s d tcb (k ()))
+              end))
+  | Program.Acquire (m, k) ->
+      let ms = mutex_state s m in
+      charge_op s d tcb ~cell:ms.m_cell ~cost:c.Cost_model.ut_lock ~crossings:1
+        (fun () ->
+          match ms.m_holder with
+          | None ->
+              ms.m_holder <- Some tcb.tid;
+              exec s d tcb (k ())
+          | Some _ ->
+              (* Contended: block at user level; release re-readies us
+                 holding the mutex.  The holder may have released while we
+                 charged the block path, so re-check before sleeping. *)
+              d.charge tcb
+                (c.Cost_model.ut_block_on_lock - c.Cost_model.ut_lock)
+                (fun () ->
+                  match ms.m_holder with
+                  | None ->
+                      ms.m_holder <- Some tcb.tid;
+                      exec s d tcb (k ())
+                  | Some _ ->
+                      Queue.add tcb ms.m_waiters;
+                      block_user s d tcb (fun () -> exec s d tcb (k ()))))
+  | Program.Release (m, k) ->
+      let ms = mutex_state s m in
+      charge_op s d tcb ~cell:ms.m_cell ~cost:c.Cost_model.ut_unlock
+        ~crossings:1
+        (fun () ->
+          (match ms.m_holder with
+          | Some holder when holder = tcb.tid -> ()
+          | Some _ | None -> invalid_arg "Release: not the holder");
+          (match Queue.take_opt ms.m_waiters with
+          | Some w ->
+              ms.m_holder <- Some w.tid;
+              make_ready s d ~at:tcb.binding w
+          | None -> ms.m_holder <- None);
+          exec s d tcb (k ()))
+  | Program.Wait (cv, m, k) ->
+      let cs = cond_state s cv in
+      let ms = mutex_state s m in
+      charge_op s d tcb ~cell:cs.c_cell
+        ~cost:(c.Cost_model.ut_wait + sa_extra d c.Cost_model.ut_sa_busy_accounting)
+        ~crossings:1
+        (fun () ->
+          (match ms.m_holder with
+          | Some holder when holder = tcb.tid -> ()
+          | Some _ | None -> invalid_arg "Wait: caller does not hold mutex");
+          (* Atomically release the mutex and sleep. *)
+          (match Queue.take_opt ms.m_waiters with
+          | Some w ->
+              ms.m_holder <- Some w.tid;
+              make_ready s d ~at:tcb.binding w
+          | None -> ms.m_holder <- None);
+          Queue.add (tcb, m) cs.c_waiters;
+          block_user s d tcb (fun () ->
+              (* Re-acquire the mutex before returning from Wait. *)
+              exec s d tcb (Program.Acquire (m, k))))
+  | Program.Signal (cv, k) ->
+      let cs = cond_state s cv in
+      charge_op s d tcb ~cell:cs.c_cell
+        ~cost:(c.Cost_model.ut_signal + sa_extra d c.Cost_model.ut_sa_resume_check)
+        ~crossings:1
+        (fun () ->
+          (match Queue.take_opt cs.c_waiters with
+          | Some (w, _m) -> make_ready s d ~at:tcb.binding w
+          | None -> ());
+          exec s d tcb (k ()))
+  | Program.Broadcast (cv, k) ->
+      let cs = cond_state s cv in
+      charge_op s d tcb ~cell:cs.c_cell
+        ~cost:(c.Cost_model.ut_signal + sa_extra d c.Cost_model.ut_sa_resume_check)
+        ~crossings:1
+        (fun () ->
+          Queue.iter (fun (w, _m) -> make_ready s d ~at:tcb.binding w) cs.c_waiters;
+          Queue.clear cs.c_waiters;
+          exec s d tcb (k ()))
+  | Program.Sem_p (sem, k) ->
+      let ss = sem_state s sem in
+      charge_op s d tcb ~cell:ss.s_cell
+        ~cost:(c.Cost_model.ut_wait + sa_extra d c.Cost_model.ut_sa_busy_accounting)
+        ~crossings:1
+        (fun () ->
+          if ss.s_count > 0 then begin
+            ss.s_count <- ss.s_count - 1;
+            exec s d tcb (k ())
+          end
+          else begin
+            Queue.add tcb ss.s_waiters;
+            block_user s d tcb (fun () -> exec s d tcb (k ()))
+          end)
+  | Program.Sem_v (sem, k) ->
+      let ss = sem_state s sem in
+      charge_op s d tcb ~cell:ss.s_cell
+        ~cost:(c.Cost_model.ut_signal + sa_extra d c.Cost_model.ut_sa_resume_check)
+        ~crossings:1
+        (fun () ->
+          (match Queue.take_opt ss.s_waiters with
+          | Some w -> make_ready s d ~at:tcb.binding w
+          | None -> ss.s_count <- ss.s_count + 1);
+          exec s d tcb (k ()))
+  | Program.Ksem_p (sem, k) ->
+      let ks = ksem_state s sem in
+      d.charge tcb c.Cost_model.ut_lock (fun () ->
+          if ks.k_count > 0 then begin
+            ks.k_count <- ks.k_count - 1;
+            (* The check-and-decrement still traps into the kernel. *)
+            d.charge tcb c.Cost_model.kernel_trap (fun () -> exec s d tcb (k ()))
+          end
+          else begin
+            s.st.kblocks <- s.st.kblocks + 1;
+            set_state s tcb Blocked_kernel;
+            d.block_kernel tcb
+              ~register:(fun wake -> Queue.add wake ks.k_waiters)
+              (fun () ->
+                set_state s tcb Running;
+                exec s d tcb (k ()))
+          end)
+  | Program.Ksem_v (sem, k) ->
+      let ks = ksem_state s sem in
+      d.charge tcb
+        (c.Cost_model.ut_unlock + c.Cost_model.kernel_trap)
+        (fun () ->
+          (match Queue.take_opt ks.k_waiters with
+          | Some wake -> wake ()
+          | None -> ks.k_count <- ks.k_count + 1);
+          exec s d tcb (k ()))
+  | Program.Io (span, k) ->
+      s.st.kblocks <- s.st.kblocks + 1;
+      set_state s tcb Blocked_kernel;
+      d.block_io tcb span (fun () ->
+          set_state s tcb Running;
+          exec s d tcb (k ()))
+  | Program.Cache_read (block, k) -> (
+      match s.cache with
+      | None ->
+          (* No cache configured: treat as always-hit. *)
+          d.charge tcb c.Cost_model.procedure_call (fun () -> exec s d tcb (k ()))
+      | Some cache ->
+          d.charge tcb c.Cost_model.procedure_call (fun () ->
+              match Buffer_cache.access cache block with
+              | Buffer_cache.Hit ->
+                  s.st.cache_hits <- s.st.cache_hits + 1;
+                  exec s d tcb (k ())
+              | Buffer_cache.Miss ->
+                  s.st.cache_misses <- s.st.cache_misses + 1;
+                  s.st.kblocks <- s.st.kblocks + 1;
+                  set_state s tcb Blocked_kernel;
+                  let do_block fill_done =
+                    match s.io_dev with
+                    | Some dev ->
+                        d.block_kernel tcb
+                          ~register:(fun wake -> Io_device.submit dev wake)
+                          fill_done
+                    | None -> d.block_io tcb d.io_latency fill_done
+                  in
+                  do_block (fun () ->
+                      set_state s tcb Running;
+                      Buffer_cache.fill cache block;
+                      (* Wake threads that coalesced on this fill. *)
+                      (match Hashtbl.find_opt s.cache_waiters block with
+                      | Some waiters ->
+                          Hashtbl.remove s.cache_waiters block;
+                          List.iter
+                            (fun w -> make_ready s d ~at:tcb.binding w)
+                            (List.rev waiters)
+                      | None -> ());
+                      exec s d tcb (k ()))
+              | Buffer_cache.Miss_in_flight ->
+                  s.st.cache_misses <- s.st.cache_misses + 1;
+                  let old =
+                    Option.value ~default:[]
+                      (Hashtbl.find_opt s.cache_waiters block)
+                  in
+                  Hashtbl.replace s.cache_waiters block (tcb :: old);
+                  block_user s d tcb (fun () -> exec s d tcb (k ()))))
+  | Program.Stamp (id, k) ->
+      d.on_stamp id;
+      exec s d tcb (k ())
+  | Program.Set_priority (p, k) ->
+      d.charge tcb c.Cost_model.procedure_call (fun () ->
+          tcb.prio <- p;
+          if p <> 0 then s.has_priorities <- true;
+          exec s d tcb (k ()))
+  | Program.Yield k ->
+      charge_op s d tcb
+        ~cell:(queue_cell s tcb.binding)
+        ~cost:c.Cost_model.ut_yield ~crossings:1
+        (fun () ->
+          tcb.resume <- (fun () -> exec s d tcb (k ()));
+          set_state s tcb Ready;
+          (* Yield goes to the back so peers run first. *)
+          Deque.push_back s.queues.(tcb.binding) tcb;
+          d.work_created s tcb;
+          d.thread_stopped tcb)
+
+and block_user s d tcb resume_k =
+  s.st.ublocks <- s.st.ublocks + 1;
+  set_state s tcb Blocked_user;
+  tcb.resume <- resume_k;
+  d.thread_stopped tcb
+
+and new_thread_in s d ?(name = "") prog =
+  s.next_tid <- s.next_tid + 1;
+  let tid = s.next_tid in
+  let name = if name = "" then Printf.sprintf "t%d" tid else name in
+  let tcb =
+    {
+      tid;
+      name;
+      prio = 0;
+      tstate = Embryo;
+      resume = (fun () -> ());
+      binding = 0;
+      held_cell = None;
+      cs_hook = None;
+      joiners = [];
+    }
+  in
+  tcb.resume <- (fun () -> exec s d tcb prog);
+  Hashtbl.replace s.threads tid tcb;
+  s.live <- s.live + 1;
+  tcb
+
+let new_thread s d ?name prog = new_thread_in s d ?name prog
+let set_resume tcb k = tcb.resume <- k
+
+let mark_kernel_blocked s tcb =
+  match tcb.tstate with
+  | Blocked_kernel -> ()
+  | Running -> set_state s tcb Blocked_kernel
+  | Embryo | Ready | Blocked_user | Done ->
+      invalid_arg "mark_kernel_blocked: thread not executing"
+
+let resume_preempted s d ~at tcb ~remaining ~resume k =
+  match tcb.tstate with
+  | Running when tcb.held_cell <> None ->
+      (* Recovery (Section 3.3): continue the thread through the rest of its
+         critical section on this vessel; the section exit parks it and
+         calls [k]. *)
+      s.st.cs_recoveries <- s.st.cs_recoveries + 1;
+      tcb.cs_hook <- Some k;
+      tcb.binding <- at;
+      d.charge tcb remaining resume
+  | Running | Blocked_kernel ->
+      (* Ordinary preemption: back on the ready list with the unfinished
+         segment saved as its resumption.  [Blocked_kernel] is possible
+         when the interrupt landed during the thread's kernel-entry path
+         (the state is set before the trap cost is charged); re-running the
+         remainder completes the trap and blocks properly. *)
+      tcb.resume <- (fun () -> d.charge tcb remaining resume);
+      set_state s tcb Ready;
+      Deque.push_front s.queues.(at) tcb;
+      d.work_created s tcb;
+      k ()
+  | Embryo | Ready | Blocked_user | Done ->
+      invalid_arg "resume_preempted: thread was not running"

@@ -1,0 +1,214 @@
+(** FastThreads core: the user-level thread package shared by both
+    substrates.
+
+    This module holds everything that is identical whether the package runs
+    on Topaz kernel threads (original FastThreads, {!Ft_kt}) or on scheduler
+    activations (modified FastThreads, {!Ft_sa}): thread control blocks,
+    per-processor LIFO ready lists with stealing, user-level locks /
+    condition variables / semaphores, the low-level critical-section
+    protocol of Sections 3.3 and 4.3, the buffer cache glue, and the
+    interpreter that executes {!Sa_program.Program} values while charging
+    the cost model.  Substrate differences are injected through a
+    {!driver} record. *)
+
+module Time = Sa_engine.Time
+module Program = Sa_program.Program
+module Cost_model = Sa_hw.Cost_model
+
+(** Critical-section marking strategy (Section 4.3).  [Copy_sections] is the
+    paper's zero-common-case-overhead technique (post-processed copies of
+    each critical section); [Explicit_flag] sets and clears a flag around
+    every critical section, adding [ut_critical_flag] per crossing — the
+    ablation of Section 5.1 (Null-Fork 34 to 49 us). *)
+type strategy = Copy_sections | Explicit_flag
+
+type tcb
+(** User-level thread control block. *)
+
+val tcb_id : tcb -> int
+val tcb_name : tcb -> string
+
+type tstate = Embryo | Ready | Running | Blocked_user | Blocked_kernel | Done
+
+val tcb_state : tcb -> tstate
+val tcb_in_cs : tcb -> bool
+val tcb_binding : tcb -> int
+(** Index of the virtual processor / processor the thread last ran on. *)
+
+val tcb_priority : tcb -> int
+(** User-level priority (0 default; higher runs first).  Set by the
+    [Set_priority] operation; children inherit the forker's priority. *)
+
+(** Low-level spin-lock cell protecting one scheduler data structure (a
+    ready list or a synchronization object). *)
+type cs_cell
+
+val cell_owner : cs_cell -> int option
+
+type stats = {
+  mutable forks : int;
+  mutable completions : int;
+  mutable dispatches : int;
+  mutable steals : int;
+  mutable ublocks : int;  (** user-level blocks (locks, conditions) *)
+  mutable kblocks : int;  (** kernel-level blocks (I/O, cache miss) *)
+  mutable cs_spin_ns : int;  (** simulated time burnt spinning on held cells *)
+  mutable cs_recoveries : int;
+      (** preempted-in-critical-section continuations (Section 3.3) *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+type state
+
+val create_state :
+  queues:int ->
+  ?cache:Sa_hw.Buffer_cache.t ->
+  ?io_dev:Sa_hw.Io_device.t ->
+  unit ->
+  state
+(** [queues] is the number of per-processor ready lists (= maximum virtual
+    processors for the kernel-thread substrate, = physical processors for
+    the activation substrate).  [io_dev], when given, services buffer-cache
+    miss fills (so disk contention is modelled); otherwise each miss blocks
+    for the cost model's fixed I/O latency, the paper's simplification. *)
+
+val stats : state -> stats
+val live_threads : state -> int
+val ready_threads : state -> int
+val runnable_threads : state -> int
+(** Ready + running + embryo: the demand figure reported to the processor
+    allocator. *)
+
+val finished : state -> bool
+(** All threads have completed. *)
+
+val state_counts : state -> (tstate * int) list
+(** Thread-count per state (diagnostics). *)
+
+val threads_in : state -> tstate -> tcb list
+
+(** Substrate capabilities injected by {!Ft_kt} / {!Ft_sa}. *)
+type driver = {
+  costs : Cost_model.t;
+  strategy : strategy;
+  sa_accounting : bool;
+      (** charge the busy-count bookkeeping / resume-check overheads that
+          the activation substrate adds (Section 5.1) *)
+  io_latency : Time.span;
+  charge : tcb -> Time.span -> (unit -> unit) -> unit;
+      (** run a thread work segment on the thread's current vessel *)
+  block_io : tcb -> Time.span -> (unit -> unit) -> unit;
+      (** thread enters the kernel and blocks for the span; continuation
+          runs when the thread next executes *)
+  block_kernel :
+    tcb -> register:((unit -> unit) -> unit) -> (unit -> unit) -> unit;
+      (** kernel block with externally driven wakeup *)
+  thread_stopped : tcb -> unit;
+      (** the thread just stopped (blocked or finished); the vessel it was
+          on must find new work *)
+  work_created : state -> tcb -> unit;
+      (** [tcb] was made ready: substrate may notify the processor
+          allocator, and under activations may ask the kernel to interrupt a
+          processor running lower-priority work (Section 3.1) *)
+  all_done : unit -> unit;  (** the last thread completed *)
+  on_stamp : int -> unit;  (** measurement marker callback *)
+}
+
+(** {1 Thread lifecycle} *)
+
+val new_thread : state -> driver -> ?name:string -> Program.t -> tcb
+(** Allocate a TCB in [Embryo] state (not yet on any ready list). *)
+
+val set_resume : tcb -> (unit -> unit) -> unit
+(** Install the continuation run when the thread is next dispatched (used by
+    the activation substrate to wire kernel-saved contexts back in). *)
+
+val mark_kernel_blocked : state -> tcb -> unit
+(** Record that the thread is now blocked in the kernel.  The interpreter
+    marks this before charging the kernel-entry path; a substrate must
+    re-mark at the actual block point because a preemption inside the entry
+    path re-dispatches the thread as [Running]. *)
+
+val make_ready : state -> driver -> at:int -> tcb -> unit
+(** Push onto ready list [at] (LIFO) and fire [work_created]. *)
+
+val pop_work : state -> int -> (tcb * bool) option
+(** Take the next thread for vessel [index]: front of its own list, else
+    steal from the back of another (second component [true] for steals).
+    Does not spin on cell locks — callers hold them via {!spin_lock_cell}. *)
+
+val pop_own : state -> int -> tcb option
+(** Front of vessel [index]'s own ready list only. *)
+
+val steal_from : state -> victim:int -> tcb option
+(** Back of [victim]'s ready list. *)
+
+val nqueues : state -> int
+
+val requeue_front : state -> int -> tcb -> unit
+(** Undo a [pop_work] (dispatch repair). *)
+
+val dispatch_cost : driver -> Time.span
+(** Cost the substrate charges to take a thread off a ready list (includes
+    the Explicit_flag crossing when that strategy is active). *)
+
+val spin_slice : driver -> Time.span
+(** The initial spin-slice used when waiting on a held cell (a few
+    uncontended lock costs, floored at 50 ns). *)
+
+val run_thread : state -> index:int -> tcb -> unit
+(** Bind the thread to vessel [index] and resume its program.  The caller
+    must have charged dispatch overhead already. *)
+
+(** {1 Critical-section cells} *)
+
+val queue_cell : state -> int -> cs_cell
+(** The cell protecting ready list [i]. *)
+
+val try_lock_cell : cs_cell -> owner:int -> bool
+val unlock_cell : cs_cell -> unit
+
+val spin_lock_cell :
+  state ->
+  cs_cell ->
+  owner:int ->
+  ?slice:Time.span ->
+  charge:(Time.span -> (unit -> unit) -> unit) ->
+  (unit -> unit) ->
+  unit
+(** Acquire [cell], charging spin slices (with exponential backoff from
+    [slice], default a few lock costs) through [charge] while it is held —
+    the processor burns real simulated time, so a holder descheduled by the
+    kernel makes spinners waste their processors exactly as in Section 3.3.
+    [owner] identifies the locker for diagnostics. *)
+
+(** {1 Interpreter} *)
+
+val exec : state -> driver -> tcb -> Program.t -> unit
+(** Execute the program as thread [tcb], charging per-operation costs.
+    Invoked by drivers with the thread bound to a vessel. *)
+
+val resume_preempted :
+  state ->
+  driver ->
+  at:int ->
+  tcb ->
+  remaining:Time.span ->
+  resume:(unit -> unit) ->
+  (unit -> unit) ->
+  unit
+(** [resume_preempted s d ~at tcb ~remaining ~resume k] handles a thread
+    context returned by the kernel after a preemption: if the thread was
+    inside a critical section, continue it immediately on the current vessel
+    until the section exit and only then put it on the ready list (recovery,
+    Section 3.3); otherwise make it ready to re-charge its unfinished
+    segment later.  [at] is the vessel index handling the event; [k] runs
+    once the context has been dealt with (after the recovery continuation,
+    if one was needed). *)
+
+val cs_crossings_null_fork : int
+(** Critical sections on the Null-Fork path (for the Section 5.1 ablation
+    arithmetic): fork(2) + schedule(1) + finish(1). *)
+
+val cs_crossings_signal_wait : int

@@ -1,0 +1,397 @@
+module Time = Sa_engine.Time
+module Sim = Sa_engine.Sim
+module Cpu = Sa_hw.Cpu
+module Cost_model = Sa_hw.Cost_model
+module Kernel = Sa_kernel.Kernel
+module Upcall = Sa_kernel.Upcall
+module Program = Sa_program.Program
+
+type loaded = L_thread of Ft_core.tcb | L_manager
+
+(* Debug journal: recent driver actions, dumped on internal errors.  Opt-in
+   (set [journal_enabled]) because formatting on every dispatch costs real
+   time in large simulations; kept bounded so long runs do not accumulate
+   garbage. *)
+let journal_enabled = ref false
+let journal : string list ref = ref []
+let journal_len = ref 0
+
+let jlog fmt =
+  Printf.ksprintf
+    (fun m ->
+      if !journal_enabled then begin
+        journal := m :: !journal;
+        incr journal_len;
+        if !journal_len > 16384 then begin
+          journal := List.filteri (fun i _ -> i < 8192) !journal;
+          journal_len := 8192
+        end
+      end)
+    fmt
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let journal_for needle =
+  List.rev (List.filter (fun m -> contains m needle) !journal)
+
+type t = {
+  kernel : Kernel.t;
+  mutable space : Kernel.space option;
+  mutable core_state : Ft_core.state;
+  mutable driver : Ft_core.driver option;
+  loaded : (int, loaded) Hashtbl.t;  (* activation id -> contents *)
+  bound : (int, Kernel.activation) Hashtbl.t;  (* tid -> activation *)
+  act_cpu : (int, int) Hashtbl.t;  (* activation id -> processor *)
+  max_procs : int;
+  mutable pending_recovery :
+    (Ft_core.tcb * Time.span * (unit -> unit)) list;
+      (* threads stopped mid-critical-section, awaiting temporary
+         continuation (Section 3.3); drained by the next manager step *)
+  mutable done_at : Time.t option;
+  mutable started : bool;
+  on_done : unit -> unit;
+}
+
+let core t = t.core_state
+let space t = Option.get t.space
+let completion_time t = t.done_at
+let is_finished t = t.done_at <> None
+let pending_recoveries t = List.length t.pending_recovery
+let driver t = Option.get t.driver
+
+let act_of t tcb =
+  match Hashtbl.find_opt t.bound (Ft_core.tcb_id tcb) with
+  | Some act -> act
+  | None -> failwith "Ft_sa: thread not bound to an activation"
+
+let bind t act tcb =
+  jlog "bind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
+  Hashtbl.replace t.loaded (Kernel.activation_id act) (L_thread tcb);
+  Hashtbl.replace t.bound (Ft_core.tcb_id tcb) act
+
+let unbind t act tcb =
+  jlog "unbind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
+  Hashtbl.replace t.loaded (Kernel.activation_id act) L_manager;
+  Hashtbl.remove t.bound (Ft_core.tcb_id tcb)
+
+(* ------------------------------------------------------------------ *)
+(* The manager: what an activation does when it is not running a thread *)
+(* ------------------------------------------------------------------ *)
+
+(* Charge manager work: idempotent scheduling activity whose preemption the
+   kernel repairs rather than reports. *)
+let charge_manager t act ?(repair = fun () -> ()) span k =
+  Kernel.sa_charge ~repair t.kernel act span k
+
+let release_processor t act =
+  let aid = Kernel.activation_id act in
+  Hashtbl.remove t.loaded aid;
+  Hashtbl.remove t.act_cpu aid;
+  Kernel.sa_cpu_idle t.kernel act
+
+let rec manager_continue t act =
+  let aid = Kernel.activation_id act in
+  let idx =
+    match Hashtbl.find_opt t.act_cpu aid with
+    | Some i -> i
+    | None -> failwith "Ft_sa: activation has no processor record"
+  in
+  if Kernel.sa_cpu_warned t.kernel act then begin
+    (* Warning-protocol kernels (Kconfig.preempt_warning) only hint that
+       they want this processor back; a dispatch boundary is a safe point,
+       so cooperate.  Any pending recovery is picked up by our remaining
+       processors. *)
+    Hashtbl.remove t.loaded aid;
+    Hashtbl.remove t.act_cpu aid;
+    Kernel.sa_respond_warning t.kernel act
+  end
+  else
+    match t.pending_recovery with
+  | (tcb, remaining, resume) :: rest ->
+      (* Temporarily continue a thread that was stopped inside a critical
+         section; it parks itself at the section exit and control returns
+         here (Section 3.3). *)
+      t.pending_recovery <- rest;
+      bind t act tcb;
+      Ft_core.resume_preempted t.core_state (driver t) ~at:idx tcb ~remaining
+        ~resume (fun () ->
+          Hashtbl.remove t.bound (Ft_core.tcb_id tcb);
+          Hashtbl.replace t.loaded aid L_manager;
+          manager_continue t act)
+  | [] ->
+      if Ft_core.finished t.core_state then release_processor t act
+      else dispatch t act idx
+
+and dispatch t act idx =
+  let s = t.core_state in
+  let cell = Ft_core.queue_cell s idx in
+  Ft_core.spin_lock_cell s cell ~owner:(-(idx + 1))
+    ~slice:(Ft_core.spin_slice (driver t))
+    ~charge:(fun slice k -> charge_manager t act slice k)
+    (fun () ->
+      match Ft_core.pop_own s idx with
+      | Some tcb -> run_picked t act idx cell tcb
+      | None ->
+          Ft_core.unlock_cell cell;
+          steal_scan t act idx 1)
+
+and run_picked t act idx cell tcb =
+  let s = t.core_state in
+  let d = driver t in
+  bind t act tcb;
+  let repair () =
+    (* Preempted mid-dispatch: put the half-dispatched thread back. *)
+    Ft_core.unlock_cell cell;
+    unbind t act tcb;
+    Ft_core.requeue_front s idx tcb
+  in
+  charge_manager t act ~repair (Ft_core.dispatch_cost d) (fun () ->
+      Ft_core.unlock_cell cell;
+      Ft_core.run_thread s ~index:idx tcb)
+
+and steal_scan t act idx k =
+  let s = t.core_state in
+  let nq = Ft_core.nqueues s in
+  if k >= nq then idle_hysteresis t act idx
+  else begin
+    let v = (idx + k) mod nq in
+    if v = idx then steal_scan t act idx (k + 1)
+    else begin
+      let vcell = Ft_core.queue_cell s v in
+      if Ft_core.try_lock_cell vcell ~owner:(-(idx + 1)) then begin
+        match Ft_core.steal_from s ~victim:v with
+        | Some tcb ->
+            (Ft_core.stats s).steals <- (Ft_core.stats s).steals + 1;
+            run_picked t act idx vcell tcb
+        | None ->
+            Ft_core.unlock_cell vcell;
+            steal_scan t act idx (k + 1)
+      end
+      else steal_scan t act idx (k + 1)
+    end
+  end
+
+and idle_hysteresis t act _idx =
+  (* Section 4.2: an idle processor spins for a while before notifying the
+     kernel that it is available for reallocation.  The spin re-scans the
+     ready lists every slice — an idle virtual processor reacts to new work
+     within ~100 us — and only gives the processor back after a full
+     hysteresis period without finding any. *)
+  let costs = Kernel.costs t.kernel in
+  let spin_total = max costs.Cost_model.idle_spin (Time.us 1) in
+  let slice_len = max (min spin_total (Time.us 100)) (Time.us 1) in
+  let rec spin remaining =
+    if Ft_core.finished t.core_state then release_processor t act
+    else begin
+      let slice = min slice_len remaining in
+      charge_manager t act slice (fun () ->
+          if
+            Ft_core.ready_threads t.core_state > 0
+            || t.pending_recovery <> []
+            || Ft_core.finished t.core_state
+          then manager_continue t act
+          else if remaining - slice <= 0 then release_processor t act
+          else spin (remaining - slice))
+    end
+  in
+  spin spin_total
+
+(* ------------------------------------------------------------------ *)
+(* Upcall handler (Table 2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handle_event t idx = function
+  | Upcall.Add_processor -> ()
+  | Upcall.Activation_blocked { act = _ } ->
+      (* Informational: the interpreter already marked the thread as blocked
+         in the kernel when it issued the request. *)
+      ()
+  | Upcall.Activation_unblocked { act = aid; ctx } -> (
+      match Hashtbl.find_opt t.loaded aid with
+      | Some (L_thread tcb) ->
+          jlog "unblocked act%d <tid%d>" aid (Ft_core.tcb_id tcb);
+          (match Ft_core.tcb_state tcb with
+          | Ft_core.Blocked_kernel -> ()
+          | st ->
+              failwith
+                (Printf.sprintf
+                   "Ft_sa: unblocked act%d carries tid=%d in state %s" aid
+                   (Ft_core.tcb_id tcb)
+                   (match st with
+                   | Ft_core.Embryo -> "embryo"
+                   | Ft_core.Ready -> "ready"
+                   | Ft_core.Running -> "running"
+                   | Ft_core.Blocked_user -> "ublocked"
+                   | Ft_core.Blocked_kernel -> "kblocked"
+                   | Ft_core.Done -> "done")));
+          Hashtbl.remove t.loaded aid;
+          Hashtbl.remove t.bound (Ft_core.tcb_id tcb);
+          Hashtbl.remove t.act_cpu aid;
+          Kernel.sa_return_activation t.kernel aid;
+          (* The saved context resumes the thread where it left the kernel;
+             it runs when some processor dispatches it. *)
+          Ft_core.set_resume tcb ctx.Upcall.resume;
+          Ft_core.make_ready t.core_state (driver t) ~at:idx tcb
+      | Some L_manager | None ->
+          failwith "Ft_sa: unblocked activation carried no thread")
+  | Upcall.Processor_preempted { act = aid; ctx } -> (
+      match Hashtbl.find_opt t.loaded aid with
+      | Some (L_thread tcb) ->
+          jlog "preempted act%d <tid%d> in_cs=%b rem=%d" aid
+            (Ft_core.tcb_id tcb) (Ft_core.tcb_in_cs tcb) ctx.Upcall.remaining;
+          Hashtbl.remove t.loaded aid;
+          Hashtbl.remove t.bound (Ft_core.tcb_id tcb);
+          Hashtbl.remove t.act_cpu aid;
+          Kernel.sa_return_activation t.kernel aid;
+          if Ft_core.tcb_in_cs tcb then
+            (* Cannot touch the ready list with this thread yet: queue it
+               for temporary continuation (Section 3.3). *)
+            t.pending_recovery <-
+              t.pending_recovery
+              @ [ (tcb, ctx.Upcall.remaining, ctx.Upcall.resume) ]
+          else
+            Ft_core.resume_preempted t.core_state (driver t) ~at:idx tcb
+              ~remaining:ctx.Upcall.remaining ~resume:ctx.Upcall.resume
+              (fun () -> Hashtbl.remove t.bound (Ft_core.tcb_id tcb))
+      | Some L_manager | None ->
+          (* Manager contexts are repaired kernel-side; nothing to do. *)
+          ())
+
+let on_upcall t delivery =
+  let act = delivery.Kernel.uc_activation in
+  let aid = Kernel.activation_id act in
+  let idx = Cpu.id delivery.Kernel.uc_cpu in
+  Hashtbl.replace t.act_cpu aid idx;
+  Hashtbl.replace t.loaded aid L_manager;
+  List.iter (handle_event t idx) delivery.Kernel.uc_events;
+  manager_continue t act
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create kernel ~name ?(priority = 0) ?cache ?io_dev
+    ?(strategy = Ft_core.Copy_sections) ?max_procs
+    ?(observer = fun _ _ -> ()) ?(on_done = fun () -> ()) () =
+  let ncpus = Sa_hw.Machine.cpu_count (Kernel.machine kernel) in
+  let max_procs =
+    match max_procs with
+    | None -> ncpus
+    | Some m when m >= 1 && m <= ncpus -> m
+    | Some _ -> invalid_arg "Ft_sa.create: max_procs out of range"
+  in
+  let core_state = Ft_core.create_state ~queues:ncpus ?cache ?io_dev () in
+  let t =
+    {
+      kernel;
+      space = None;
+      core_state;
+      driver = None;
+      loaded = Hashtbl.create 32;
+      bound = Hashtbl.create 32;
+      act_cpu = Hashtbl.create 32;
+      max_procs;
+      pending_recovery = [];
+      done_at = None;
+      started = false;
+      on_done;
+    }
+  in
+  let costs = Kernel.costs kernel in
+  let sim = Kernel.sim kernel in
+  let sp =
+    Kernel.new_sa_space kernel ~name ~priority
+      ~client:{ Kernel.on_upcall = (fun delivery -> on_upcall t delivery) }
+      ()
+  in
+  t.space <- Some sp;
+  let d =
+    {
+      Ft_core.costs;
+      strategy;
+      sa_accounting = true;
+      io_latency = costs.Cost_model.io_latency;
+      charge = (fun tcb span k -> Kernel.sa_charge t.kernel (act_of t tcb) span k);
+      block_io =
+        (fun tcb span k ->
+          (* Trap into the kernel as part of the thread's own time, then the
+             activation blocks and a fresh activation notifies us.  The
+             activation is re-resolved at the end of the trap: if the trap
+             segment was preempted, the thread re-runs it on a different
+             activation. *)
+          Kernel.sa_charge t.kernel (act_of t tcb)
+            costs.Cost_model.kernel_trap (fun () ->
+              let act = act_of t tcb in
+              jlog "block_io act%d <tid%d>" (Kernel.activation_id act)
+                (Ft_core.tcb_id tcb);
+              Ft_core.mark_kernel_blocked t.core_state tcb;
+              Kernel.sa_block_io t.kernel act ~io:span k));
+      block_kernel =
+        (fun tcb ~register k ->
+          Kernel.sa_charge t.kernel (act_of t tcb)
+            costs.Cost_model.kernel_trap (fun () ->
+              let act = act_of t tcb in
+              jlog "block_kernel act%d <tid%d>" (Kernel.activation_id act)
+                (Ft_core.tcb_id tcb);
+              Ft_core.mark_kernel_blocked t.core_state tcb;
+              Kernel.sa_block_kernel t.kernel act ~register k));
+      thread_stopped =
+        (fun tcb ->
+          let act = act_of t tcb in
+          unbind t act tcb;
+          manager_continue t act);
+      work_created =
+        (fun s tcb ->
+          (* Table 3: tell the kernel only when runnable threads exceed our
+             processors (capped at the application's parallelism limit). *)
+          let sp = space t in
+          let runnable = Ft_core.runnable_threads s in
+          let want = min t.max_procs runnable in
+          let n = want - Kernel.space_assigned sp in
+          if n > 0 then Kernel.sa_add_more_processors t.kernel sp n;
+          (* Section 3.1 priority extension: if the newly ready thread
+             outranks something we are running, ask the kernel to interrupt
+             that processor — we know exactly which thread runs where. *)
+          let prio = Ft_core.tcb_priority tcb in
+          if prio > 0 then begin
+            let victim =
+              Hashtbl.fold
+                (fun aid l acc ->
+                  match l with
+                  | L_thread vt
+                    when Ft_core.tcb_state vt = Ft_core.Running
+                         && Ft_core.tcb_id vt <> Ft_core.tcb_id tcb -> (
+                      match acc with
+                      | Some (_, best) when Ft_core.tcb_priority best
+                                            <= Ft_core.tcb_priority vt ->
+                          acc
+                      | _ -> Some (aid, vt))
+                  | _ -> acc)
+                t.loaded None
+            in
+            match victim with
+            | Some (aid, vt) when Ft_core.tcb_priority vt < prio -> (
+                match Hashtbl.find_opt t.act_cpu aid with
+                | Some cpu -> Kernel.sa_request_preempt t.kernel sp ~cpu
+                | None -> ())
+            | Some _ | None -> ()
+          end);
+      all_done =
+        (fun () ->
+          t.done_at <- Some (Sim.now sim);
+          t.on_done ());
+      on_stamp = (fun id -> observer id (Sim.now sim));
+    }
+  in
+  t.driver <- Some d;
+  t
+
+let start t prog =
+  if t.started then invalid_arg "Ft_sa.start: already started";
+  t.started <- true;
+  let d = driver t in
+  let root = Ft_core.new_thread t.core_state d ~name:"main" prog in
+  Ft_core.make_ready t.core_state d ~at:0 root

@@ -1,0 +1,1 @@
+lib/workload/latency.ml: Recorder Sa_engine Sa_program

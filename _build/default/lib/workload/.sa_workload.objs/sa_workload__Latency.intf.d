@@ -1,0 +1,1 @@
+lib/workload/latency.mli: Recorder Sa_engine Sa_program

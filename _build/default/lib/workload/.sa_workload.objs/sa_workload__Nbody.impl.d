@@ -1,0 +1,1 @@
+lib/workload/nbody.ml: Array Barneshut List Sa_engine Sa_hw Sa_program

@@ -1,0 +1,1 @@
+lib/workload/nbody.mli: Sa_engine Sa_hw Sa_program

@@ -1,0 +1,1 @@
+lib/workload/recorder.ml: Array List Sa_engine

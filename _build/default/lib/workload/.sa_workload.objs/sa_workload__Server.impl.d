@@ -1,0 +1,1 @@
+lib/workload/server.ml: Array Hashtbl List Printf Recorder Sa_engine Sa_program

@@ -1,0 +1,1 @@
+lib/workload/server.mli: Recorder Sa_engine Sa_program

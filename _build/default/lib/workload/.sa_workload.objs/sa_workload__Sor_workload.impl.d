@@ -1,0 +1,1 @@
+lib/workload/sor_workload.ml: List Sa_engine Sa_program Sor

@@ -1,0 +1,1 @@
+lib/workload/sor_workload.mli: Sa_engine Sa_program

@@ -1,0 +1,42 @@
+module Time = Sa_engine.Time
+module P = Sa_program.Program
+module B = P.Build
+
+(* The null procedure costs one procedure call (7 us on the CVAX). *)
+let null_fork ~iters ?(proc = Time.us 7) () =
+  B.to_program
+    (let open B in
+     repeat iters (fun _ ->
+         let* () = stamp 0 in
+         let* tid = fork (P.compute_only proc) in
+         join tid))
+
+let null_fork_latency r = Recorder.mean_delta ~skip:2 r
+
+(* Ping-pong: the driver signals its partner, then waits; each stamped
+   interval covers one full round = two signal-then-wait operations. *)
+let ping_pong ~iters ~v ~p =
+  let s1 = P.Sem.create ~name:"pp-s1" ~initial:0 () in
+  let s2 = P.Sem.create ~name:"pp-s2" ~initial:0 () in
+  let partner =
+    B.to_program
+      (let open B in
+       repeat iters (fun _ ->
+           let* () = p s1 in
+           v s2))
+  in
+  B.to_program
+    (let open B in
+     let* _tid = fork partner in
+     let* () =
+       repeat iters (fun _ ->
+           let* () = stamp 0 in
+           let* () = v s1 in
+           p s2)
+     in
+     return ())
+
+let signal_wait ~iters = ping_pong ~iters ~v:B.sem_v ~p:B.sem_p
+let signal_wait_latency r = Recorder.mean_delta ~skip:2 r /. 2.0
+let upcall_signal_wait ~iters = ping_pong ~iters ~v:B.ksem_v ~p:B.ksem_p
+let upcall_signal_wait_latency r = Recorder.mean_delta ~skip:2 r /. 2.0

@@ -1,0 +1,36 @@
+(** The two microbenchmarks of Tables 1 and 4, plus the kernel-forced
+    variant of Section 5.2.
+
+    - {e Null Fork}: a loop that forks, schedules, executes and completes a
+      thread invoking the null procedure; measures thread creation
+      overhead.
+    - {e Signal-Wait}: two threads ping-ponging on a pair of semaphores;
+      measures the overhead of signalling a waiting thread and then waiting
+      oneself.
+    - {e Upcall Signal-Wait}: the same ping-pong through {e kernel-level}
+      semaphores, forcing every synchronization through the kernel; on
+      scheduler activations each round exercises a blocked and an unblocked
+      upcall — the paper measures 2.4 ms per signal-wait on its untuned
+      implementation (Section 5.2).
+
+    Each program emits one [Stamp 0] per iteration from the driving thread;
+    feed the job's observer into a {!Recorder} and read the per-operation
+    latency with the corresponding [*_latency] helper. *)
+
+val null_fork :
+  iters:int -> ?proc:Sa_engine.Time.span -> unit -> Sa_program.Program.t
+(** [proc] is the cost of the null procedure the forked thread invokes
+    (default: the Firefly's 7 us procedure call). *)
+
+val null_fork_latency : Recorder.t -> float
+(** Mean Null-Fork cycle in microseconds (skips 2 warm-up cycles). *)
+
+val signal_wait : iters:int -> Sa_program.Program.t
+
+val signal_wait_latency : Recorder.t -> float
+(** Mean signal-then-wait latency in microseconds: half the measured
+    round-trip (skips 2 warm-up rounds). *)
+
+val upcall_signal_wait : iters:int -> Sa_program.Program.t
+
+val upcall_signal_wait_latency : Recorder.t -> float

@@ -1,0 +1,23 @@
+module Time = Sa_engine.Time
+
+type t = { mutable entries : (int * Time.t) list (* newest first *) }
+
+let create () = { entries = [] }
+let observer t id time = t.entries <- (id, time) :: t.entries
+let count t = List.length t.entries
+let stamps t = List.rev t.entries
+
+let deltas ?(skip = 0) t =
+  let times = List.rev_map (fun (_, time) -> Time.to_ns time) t.entries in
+  let rec diffs = function
+    | a :: (b :: _ as rest) -> float_of_int (b - a) /. 1000.0 :: diffs rest
+    | [ _ ] | [] -> []
+  in
+  let all = diffs times in
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+  Array.of_list (drop skip all)
+
+let mean_delta ?skip t =
+  let d = deltas ?skip t in
+  if Array.length d = 0 then failwith "Recorder.mean_delta: not enough stamps";
+  Array.fold_left ( +. ) 0.0 d /. float_of_int (Array.length d)

@@ -1,0 +1,21 @@
+(** Collects [Stamp] markers emitted by a running program, and turns them
+    into latency statistics. *)
+
+type t
+
+val create : unit -> t
+
+val observer : t -> int -> Sa_engine.Time.t -> unit
+(** The callback to pass as a job's [?observer]. *)
+
+val count : t -> int
+
+val stamps : t -> (int * Sa_engine.Time.t) list
+(** In emission order. *)
+
+val deltas : ?skip:int -> t -> float array
+(** Differences between consecutive stamp times in microseconds, dropping
+    the first [skip] intervals (warm-up).  Order of emission. *)
+
+val mean_delta : ?skip:int -> t -> float
+(** Mean of {!deltas}; raises [Failure] if fewer than two stamps remain. *)

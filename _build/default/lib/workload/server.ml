@@ -1,0 +1,112 @@
+module Time = Sa_engine.Time
+module Rng = Sa_engine.Rng
+module Stats = Sa_engine.Stats
+module P = Sa_program.Program
+module B = P.Build
+
+type params = {
+  requests : int;
+  mean_interarrival : Time.span;
+  service_compute : Time.span;
+  io_probability : float;
+  io_latency : Time.span;
+  seed : int;
+}
+
+let default_params =
+  {
+    requests = 200;
+    mean_interarrival = Time.ms 1;
+    service_compute = Time.ms 1;
+    io_probability = 0.8;
+    io_latency = Time.ms 20;
+    seed = 7;
+  }
+
+let program p =
+  if p.requests <= 0 then invalid_arg "Server.program: requests";
+  let rng = Rng.create p.seed in
+  (* Pre-draw the arrival gaps and I/O coin flips so the program is a pure
+     value (deterministic across backends). *)
+  let gaps =
+    Array.init p.requests (fun _ ->
+        max 1
+          (int_of_float
+             (Rng.exponential rng
+                ~mean:(float_of_int p.mean_interarrival))))
+  in
+  let does_io =
+    Array.init p.requests (fun _ -> Rng.float rng 1.0 < p.io_probability)
+  in
+  let handler i =
+    B.to_program
+      (let open B in
+       let* () = when_ does_io.(i) (io p.io_latency) in
+       let* () = compute p.service_compute in
+       stamp ((2 * i) + 1))
+  in
+  B.to_program
+    (let open B in
+     let* tids =
+       let rec accept acc i =
+         if i >= p.requests then return acc
+         else
+           (* the listener blocks in the kernel until the next arrival;
+              the arrival is stamped before the handler is forked so any
+              delay in starting the handler counts as response time *)
+           let* () = io gaps.(i) in
+           let* () = stamp (2 * i) in
+           let* tid = fork (handler i) in
+           accept (tid :: acc) (i + 1)
+       in
+       accept [] 0
+     in
+     iter_list tids (fun tid -> join tid))
+
+type summary = {
+  completed : int;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+  makespan_ms : float;  (* first arrival to last completion *)
+}
+
+let summarize recorder p =
+  let stamps = Recorder.stamps recorder in
+  let arrivals = Hashtbl.create p.requests in
+  let samples = Stats.Samples.create () in
+  let completed = ref 0 in
+  List.iter
+    (fun (id, time) ->
+      if id mod 2 = 0 then Hashtbl.replace arrivals (id / 2) time
+      else begin
+        let req = id / 2 in
+        match Hashtbl.find_opt arrivals req with
+        | Some t0 ->
+            incr completed;
+            Stats.Samples.add samples
+              (float_of_int (Time.diff time t0) /. 1000.0)
+        | None -> failwith "Server.summarize: completion without arrival"
+      end)
+    stamps;
+  if !completed <> p.requests then
+    failwith
+      (Printf.sprintf "Server.summarize: %d of %d requests completed"
+         !completed p.requests);
+  let times = List.map (fun (_, t) -> Time.to_ns t) stamps in
+  let makespan_ms =
+    match (times, List.rev times) with
+    | first :: _, last :: _ -> float_of_int (last - first) /. 1e6
+    | [], _ | _, [] -> 0.0
+  in
+  {
+    completed = !completed;
+    mean_us = Stats.Samples.mean samples;
+    p50_us = Stats.Samples.percentile samples 50.0;
+    p95_us = Stats.Samples.percentile samples 95.0;
+    p99_us = Stats.Samples.percentile samples 99.0;
+    max_us = Stats.Samples.percentile samples 100.0;
+    makespan_ms;
+  }

@@ -1,0 +1,47 @@
+(** An open-arrival server workload: the "system integration" scenario the
+    paper's introduction motivates (threads as the vehicle for concurrency
+    in servers).
+
+    A listener thread blocks in the kernel waiting for the next request
+    (exponentially distributed inter-arrival times) and forks one handler
+    thread per request; a handler optionally performs kernel I/O (a disk or
+    backend call) and then computes its response.  Response-time statistics
+    fall out of the [Stamp] markers: request [i] stamps [2i] at arrival and
+    [2i+1] at completion.
+
+    The interesting comparison is tail latency: under original FastThreads
+    the listener's kernel blocks and the handlers' I/O each pin a virtual
+    processor, so requests queue behind lost processors; under scheduler
+    activations every block returns its processor via an upcall. *)
+
+type params = {
+  requests : int;
+  mean_interarrival : Sa_engine.Time.span;
+  service_compute : Sa_engine.Time.span;
+  io_probability : float;  (** fraction of requests performing kernel I/O *)
+  io_latency : Sa_engine.Time.span;
+  seed : int;
+}
+
+val default_params : params
+(** 200 requests at 1 ms mean inter-arrival, 1 ms compute each, 80% of
+    requests performing a 20 ms I/O — an offered I/O concurrency of ~16,
+    far above a small machine's processor count, so systems that lose a
+    processor per kernel block must queue. *)
+
+val program : params -> Sa_program.Program.t
+(** Deterministic in [params.seed]. *)
+
+type summary = {
+  completed : int;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+  makespan_ms : float;  (** first arrival to last completion *)
+}
+
+val summarize : Recorder.t -> params -> summary
+(** Pair up arrival/completion stamps into response times.  Raises
+    [Failure] if some requests never completed. *)

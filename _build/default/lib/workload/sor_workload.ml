@@ -1,0 +1,78 @@
+module Time = Sa_engine.Time
+module P = Sa_program.Program
+module B = P.Build
+
+type params = {
+  grid_rows : int;
+  grid_cols : int;
+  omega : float;
+  tol : float;
+  max_iters : int;
+  bands : int;
+  per_cell : Time.span;
+}
+
+let default_params =
+  {
+    grid_rows = 96;
+    grid_cols = 96;
+    omega = 1.8;
+    tol = 1e-4;
+    max_iters = 500;
+    bands = 12;
+    per_cell = Time.us 3;
+  }
+
+type prepared = {
+  params : params;
+  program : P.t;
+  iterations : int;
+  final_delta : float;
+  seq_time : Time.span;
+}
+
+let prepare p =
+  if p.bands <= 0 then invalid_arg "Sor_workload.prepare: bands";
+  let grid = Sor.create ~rows:p.grid_rows ~cols:p.grid_cols () in
+  let iterations, final_delta =
+    Sor.solve grid ~omega:p.omega ~tol:p.tol ~max_iters:p.max_iters
+  in
+  let interior_rows = p.grid_rows - 2 in
+  let rows_per_band = (interior_rows + p.bands - 1) / p.bands in
+  (* Half the cells of a band are relaxed per half-sweep (one colour). *)
+  let band_cost band =
+    let first = 1 + (band * rows_per_band) in
+    let last = min (p.grid_rows - 2) (first + rows_per_band - 1) in
+    if first > last then 0
+    else (last - first + 1) * (p.grid_cols - 2) / 2 * p.per_cell
+  in
+  let half_sweep =
+    let open B in
+    let* tids =
+      let rec go acc band =
+        if band >= p.bands then return (List.rev acc)
+        else begin
+          let cost = band_cost band in
+          if cost = 0 then go acc (band + 1)
+          else
+            let* tid = fork (P.compute_only cost) in
+            go (tid :: acc) (band + 1)
+        end
+      in
+      go [] 0
+    in
+    iter_list tids (fun tid -> join tid)
+  in
+  let program =
+    B.to_program
+      (B.repeat iterations (fun _ ->
+           let open B in
+           let* () = half_sweep in
+           half_sweep))
+  in
+  let total_cells_per_half =
+    let rec sum b acc = if b >= p.bands then acc else sum (b + 1) (acc + band_cost b) in
+    sum 0 0
+  in
+  let seq_time = 2 * iterations * total_cells_per_half in
+  { params = p; program; iterations; final_delta; seq_time }

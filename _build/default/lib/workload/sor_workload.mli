@@ -1,0 +1,33 @@
+(** Parallel red-black SOR as a thread workload.
+
+    The real solver ({!Sor}) runs first to learn how many iterations the
+    grid needs to converge; the parallel program then reproduces that
+    computation's structure: per iteration, a red half-sweep and a black
+    half-sweep, each forking one thread per band of rows and joining them —
+    two barriers per iteration, with per-task compute proportional to the
+    band's cell count.  Tighter-grained than the N-body application (more
+    barriers per unit of work), it stresses the very mechanism Table 5
+    punishes: threads frozen at a barrier by an oblivious kernel. *)
+
+type params = {
+  grid_rows : int;
+  grid_cols : int;
+  omega : float;
+  tol : float;
+  max_iters : int;
+  bands : int;  (** row bands per half-sweep = tasks per barrier *)
+  per_cell : Sa_engine.Time.span;  (** simulated compute per relaxed cell *)
+}
+
+val default_params : params
+(** 96 x 96 grid, omega 1.8, 12 bands, 3 µs per cell. *)
+
+type prepared = {
+  params : params;
+  program : Sa_program.Program.t;
+  iterations : int;  (** real convergence iterations of the actual solver *)
+  final_delta : float;
+  seq_time : Sa_engine.Time.span;
+}
+
+val prepare : params -> prepared

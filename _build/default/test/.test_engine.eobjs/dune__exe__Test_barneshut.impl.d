@@ -1,0 +1,1 @@
+test/test_barneshut.ml: Alcotest Array Barneshut QCheck QCheck_alcotest Sa_engine

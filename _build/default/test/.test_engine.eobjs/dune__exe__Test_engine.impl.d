@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Format Gen List QCheck QCheck_alcotest Sa_engine String

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest List QCheck QCheck_alcotest Sa_engine Sa_hw

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Option Sa Sa_engine Sa_kernel Sa_metrics Sa_workload String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Sa_engine Sa_hw Sa_kernel String

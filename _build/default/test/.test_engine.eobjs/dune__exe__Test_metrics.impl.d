@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Format List Sa Sa_engine Sa_metrics Sa_workload String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Buffer Format List Sa Sa_engine Sa_hw Sa_kernel Sa_program Sa_uthread Sa_workload String

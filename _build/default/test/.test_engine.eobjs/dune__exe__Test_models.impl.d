@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest List Option Sa Sa_engine Sa_kernel Sa_models Sa_program

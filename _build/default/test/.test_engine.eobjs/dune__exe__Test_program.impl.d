@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Format List Sa_engine Sa_program String

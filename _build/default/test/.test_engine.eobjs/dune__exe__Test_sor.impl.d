@@ -1,0 +1,1 @@
+test/test_sor.ml: Alcotest Option QCheck QCheck_alcotest Sa Sa_engine Sa_kernel Sa_workload Sor

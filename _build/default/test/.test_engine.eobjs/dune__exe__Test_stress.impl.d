@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Sa Sa_engine Sa_kernel Sa_program Sa_workload String

@@ -1,0 +1,1 @@
+test/test_uthread.ml: Alcotest List Option Printf QCheck QCheck_alcotest Sa Sa_engine Sa_kernel Sa_program Sa_uthread String

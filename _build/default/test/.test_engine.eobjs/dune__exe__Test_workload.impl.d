@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Sa Sa_engine Sa_hw Sa_kernel Sa_workload

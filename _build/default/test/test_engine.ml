@@ -1,0 +1,432 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+module Time = Sa_engine.Time
+module Pqueue = Sa_engine.Pqueue
+module Rng = Sa_engine.Rng
+module Stats = Sa_engine.Stats
+module Trace = Sa_engine.Trace
+module Sim = Sa_engine.Sim
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let time_tests =
+  [
+    Alcotest.test_case "unit conversions" `Quick (fun () ->
+        check Alcotest.int "us" 1_000 (Time.us 1);
+        check Alcotest.int "ms" 1_000_000 (Time.ms 1);
+        check Alcotest.int "s" 1_000_000_000 (Time.s 1);
+        check Alcotest.int "us_f rounds" 1_500 (Time.us_f 1.5));
+    Alcotest.test_case "add and diff" `Quick (fun () ->
+        let t = Time.add Time.zero (Time.us 5) in
+        check Alcotest.int "ns" 5_000 (Time.to_ns t);
+        check Alcotest.int "diff" 5_000 (Time.diff t Time.zero));
+    Alcotest.test_case "negative construction rejected" `Quick (fun () ->
+        Alcotest.check_raises "of_ns" (Invalid_argument "Time.of_ns: negative")
+          (fun () -> ignore (Time.of_ns (-1)));
+        Alcotest.check_raises "add"
+          (Invalid_argument "Time.add: negative result") (fun () ->
+            ignore (Time.add Time.zero (-5))));
+    Alcotest.test_case "ordering operators" `Quick (fun () ->
+        let a = Time.of_ns 10 and b = Time.of_ns 20 in
+        check Alcotest.bool "lt" true Time.(a < b);
+        check Alcotest.bool "le" true Time.(a <= a);
+        check Alcotest.bool "gt" true Time.(b > a);
+        check Alcotest.int "min" 10 (Time.to_ns (Time.min a b));
+        check Alcotest.int "max" 20 (Time.to_ns (Time.max a b)));
+    Alcotest.test_case "span reading" `Quick (fun () ->
+        check (Alcotest.float 1e-9) "to us" 2.5 (Time.span_to_us (Time.ns 2_500));
+        check (Alcotest.float 1e-9) "to ms" 1.5
+          (Time.span_to_ms (Time.us 1_500)));
+    Alcotest.test_case "pp adapts unit" `Quick (fun () ->
+        let s v = Format.asprintf "%a" Time.pp_span v in
+        check Alcotest.string "ns" "500ns" (s 500);
+        check Alcotest.string "us" "7.000us" (s (Time.us 7));
+        check Alcotest.string "ms" "2.400ms" (s (Time.us 2400)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pqueue_pop_order =
+  QCheck.Test.make ~name:"pqueue pops in (key, seq) order" ~count:200
+    QCheck.(list (pair small_nat small_nat))
+    (fun pairs ->
+      let q = Pqueue.create () in
+      List.iteri (fun i (k, _) -> ignore (Pqueue.add q ~key:k ~seq:i i)) pairs;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (k, s, _) -> drain ((k, s) :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare out)
+
+let pqueue_cancel_prop =
+  QCheck.Test.make ~name:"cancelled entries never pop" ~count:200
+    QCheck.(list (pair small_nat bool))
+    (fun items ->
+      let q = Pqueue.create () in
+      let kept = ref [] in
+      List.iteri
+        (fun i (k, cancel) ->
+          let e = Pqueue.add q ~key:k ~seq:i (k, i) in
+          if cancel then Pqueue.remove q e else kept := (k, i) :: !kept)
+        items;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (_, _, v) -> drain (v :: acc)
+        | None -> acc
+      in
+      let popped = List.sort compare (drain []) in
+      popped = List.sort compare !kept)
+
+let pqueue_tests =
+  [
+    Alcotest.test_case "empty pops None" `Quick (fun () ->
+        let q = Pqueue.create () in
+        check Alcotest.bool "empty" true (Pqueue.is_empty q);
+        check Alcotest.bool "pop" true (Pqueue.pop q = None));
+    Alcotest.test_case "fifo among equal keys" `Quick (fun () ->
+        let q = Pqueue.create () in
+        ignore (Pqueue.add q ~key:5 ~seq:0 "a");
+        ignore (Pqueue.add q ~key:5 ~seq:1 "b");
+        ignore (Pqueue.add q ~key:5 ~seq:2 "c");
+        let vals =
+          List.init 3 (fun _ ->
+              match Pqueue.pop q with Some (_, _, v) -> v | None -> "?")
+        in
+        check (Alcotest.list Alcotest.string) "order" [ "a"; "b"; "c" ] vals);
+    Alcotest.test_case "length counts live only" `Quick (fun () ->
+        let q = Pqueue.create () in
+        let e1 = Pqueue.add q ~key:1 ~seq:0 1 in
+        let _e2 = Pqueue.add q ~key:2 ~seq:1 2 in
+        Pqueue.remove q e1;
+        check Alcotest.int "length" 1 (Pqueue.length q);
+        check Alcotest.bool "e1 dead" false (Pqueue.entry_live e1));
+    Alcotest.test_case "to_list sorted" `Quick (fun () ->
+        let q = Pqueue.create () in
+        ignore (Pqueue.add q ~key:3 ~seq:0 'c');
+        ignore (Pqueue.add q ~key:1 ~seq:1 'a');
+        ignore (Pqueue.add q ~key:2 ~seq:2 'b');
+        let keys = List.map (fun (k, _, _) -> k) (Pqueue.to_list q) in
+        check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3 ] keys);
+    qtest pqueue_pop_order;
+    qtest pqueue_cancel_prop;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_range =
+  QCheck.Test.make ~name:"rng int stays in range" ~count:500
+    QCheck.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let rng_float_range =
+  QCheck.Test.make ~name:"rng float stays in range" ~count:500 QCheck.int
+    (fun seed ->
+      let r = Rng.create seed in
+      let v = Rng.float r 10.0 in
+      v >= 0.0 && v < 10.0)
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let a = Rng.create 42 and b = Rng.create 42 in
+        for _ = 1 to 100 do
+          check Alcotest.int "same stream" (Rng.int a 1_000_000)
+            (Rng.int b 1_000_000)
+        done);
+    Alcotest.test_case "copy preserves stream" `Quick (fun () ->
+        let a = Rng.create 7 in
+        ignore (Rng.int a 100);
+        let b = Rng.copy a in
+        check Alcotest.int "copies agree" (Rng.int a 1_000) (Rng.int b 1_000));
+    Alcotest.test_case "split decorrelates" `Quick (fun () ->
+        let a = Rng.create 1 in
+        let b = Rng.split a in
+        let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+        let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+        check Alcotest.bool "streams differ" true (xs <> ys));
+    Alcotest.test_case "mean of uniform is centered" `Quick (fun () ->
+        let r = Rng.create 9 in
+        let n = 20_000 in
+        let sum = ref 0.0 in
+        for _ = 1 to n do
+          sum := !sum +. Rng.float r 1.0
+        done;
+        let mean = !sum /. float_of_int n in
+        check Alcotest.bool "0.48 < mean < 0.52" true (mean > 0.48 && mean < 0.52));
+    Alcotest.test_case "exponential has right mean" `Quick (fun () ->
+        let r = Rng.create 11 in
+        let n = 20_000 in
+        let sum = ref 0.0 in
+        for _ = 1 to n do
+          sum := !sum +. Rng.exponential r ~mean:2.0
+        done;
+        let mean = !sum /. float_of_int n in
+        check Alcotest.bool "1.9 < mean < 2.1" true (mean > 1.9 && mean < 2.1));
+    Alcotest.test_case "gaussian is centered" `Quick (fun () ->
+        let r = Rng.create 13 in
+        let n = 20_000 in
+        let sum = ref 0.0 in
+        for _ = 1 to n do
+          sum := !sum +. Rng.gaussian r ~mu:5.0 ~sigma:1.0
+        done;
+        let mean = !sum /. float_of_int n in
+        check Alcotest.bool "4.95 < mean < 5.05" true (mean > 4.95 && mean < 5.05));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let r = Rng.create 3 in
+        let a = Array.init 100 (fun i -> i) in
+        Rng.shuffle r a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        check (Alcotest.array Alcotest.int) "same multiset"
+          (Array.init 100 (fun i -> i))
+          sorted);
+    Alcotest.test_case "bound must be positive" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+            ignore (Rng.int (Rng.create 0) 0)));
+    qtest rng_range;
+    qtest rng_float_range;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let summary_matches_oracle =
+  QCheck.Test.make ~name:"summary mean/total match oracle" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let n = List.length xs in
+      let total = List.fold_left ( +. ) 0.0 xs in
+      let mean = total /. float_of_int n in
+      abs_float (Stats.Summary.mean s -. mean) < 1e-6
+      && abs_float (Stats.Summary.total s -. total) < 1e-6
+      && Stats.Summary.count s = n)
+
+let merge_equals_combined =
+  QCheck.Test.make ~name:"summary merge == adding all" ~count:200
+    QCheck.(pair (list (float_range 0. 10.)) (list (float_range 0. 10.)))
+    (fun (xs, ys) ->
+      let a = Stats.Summary.create () and b = Stats.Summary.create () in
+      let c = Stats.Summary.create () in
+      List.iter (Stats.Summary.add a) xs;
+      List.iter (Stats.Summary.add b) ys;
+      List.iter (Stats.Summary.add c) (xs @ ys);
+      let m = Stats.Summary.merge a b in
+      abs_float (Stats.Summary.mean m -. Stats.Summary.mean c) < 1e-6
+      && abs_float (Stats.Summary.variance m -. Stats.Summary.variance c) < 1e-5)
+
+let stats_tests =
+  [
+    Alcotest.test_case "summary basics" `Quick (fun () ->
+        let s = Stats.Summary.create () in
+        List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+        check (Alcotest.float 1e-9) "mean" 2.5 (Stats.Summary.mean s);
+        check (Alcotest.float 1e-9) "min" 1.0 (Stats.Summary.min s);
+        check (Alcotest.float 1e-9) "max" 4.0 (Stats.Summary.max s);
+        check (Alcotest.float 1e-6) "variance" (5.0 /. 3.0)
+          (Stats.Summary.variance s));
+    Alcotest.test_case "empty summary" `Quick (fun () ->
+        let s = Stats.Summary.create () in
+        check (Alcotest.float 0.0) "mean" 0.0 (Stats.Summary.mean s);
+        check Alcotest.int "count" 0 (Stats.Summary.count s));
+    Alcotest.test_case "percentiles" `Quick (fun () ->
+        let s = Stats.Samples.create () in
+        List.iter (Stats.Samples.add s)
+          (List.init 101 (fun i -> float_of_int i));
+        check (Alcotest.float 1e-9) "median" 50.0 (Stats.Samples.median s);
+        check (Alcotest.float 1e-9) "p0" 0.0 (Stats.Samples.percentile s 0.0);
+        check (Alcotest.float 1e-9) "p100" 100.0
+          (Stats.Samples.percentile s 100.0);
+        check (Alcotest.float 1e-9) "p25" 25.0 (Stats.Samples.percentile s 25.0));
+    Alcotest.test_case "percentile interpolates" `Quick (fun () ->
+        let s = Stats.Samples.create () in
+        List.iter (Stats.Samples.add s) [ 0.0; 10.0 ];
+        check (Alcotest.float 1e-9) "p50" 5.0 (Stats.Samples.percentile s 50.0));
+    Alcotest.test_case "histogram buckets" `Quick (fun () ->
+        let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+        List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; -1.0; 10.0 ];
+        let counts = Stats.Histogram.bucket_counts h in
+        check Alcotest.int "bucket 0" 1 counts.(0);
+        check Alcotest.int "bucket 1" 2 counts.(1);
+        check Alcotest.int "bucket 9" 1 counts.(9);
+        check Alcotest.int "under" 1 (Stats.Histogram.underflow h);
+        check Alcotest.int "over" 1 (Stats.Histogram.overflow h));
+    Alcotest.test_case "time-weighted average" `Quick (fun () ->
+        let w = Stats.Weighted.create ~at:Time.zero ~level:0.0 in
+        Stats.Weighted.update w ~at:(Time.of_ns 100) ~level:1.0;
+        Stats.Weighted.update w ~at:(Time.of_ns 200) ~level:0.0;
+        (* 0 for [0,100), 1 for [100,200): average over [0,200] = 0.5 *)
+        check (Alcotest.float 1e-9) "avg" 0.5
+          (Stats.Weighted.average w ~upto:(Time.of_ns 200)));
+    qtest summary_matches_oracle;
+    qtest merge_equals_combined;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "records kept oldest-first" `Quick (fun () ->
+        let tr = Trace.create ~capacity:8 () in
+        Trace.emitf tr ~time:Time.zero Trace.Sim "one";
+        Trace.emitf tr ~time:(Time.of_ns 5) Trace.Cpu "two";
+        let msgs = List.map (fun r -> r.Trace.message) (Trace.records tr) in
+        check (Alcotest.list Alcotest.string) "order" [ "one"; "two" ] msgs);
+    Alcotest.test_case "ring evicts oldest" `Quick (fun () ->
+        let tr = Trace.create ~capacity:3 () in
+        for i = 1 to 5 do
+          Trace.emitf tr ~time:Time.zero Trace.Sim "m%d" i
+        done;
+        let msgs = List.map (fun r -> r.Trace.message) (Trace.records tr) in
+        check (Alcotest.list Alcotest.string) "last three" [ "m3"; "m4"; "m5" ]
+          msgs;
+        check Alcotest.int "total counts all" 5 (Trace.count tr));
+    Alcotest.test_case "disabled category drops records" `Quick (fun () ->
+        let tr = Trace.create () in
+        Trace.enable tr Trace.Cpu false;
+        Trace.emit tr ~time:Time.zero Trace.Cpu (lazy "hidden");
+        Trace.emitf tr ~time:Time.zero Trace.Kernel "shown";
+        check Alcotest.int "one record" 1 (List.length (Trace.records tr)));
+    Alcotest.test_case "lazy message not forced when disabled" `Quick (fun () ->
+        let tr = Trace.create () in
+        Trace.enable tr Trace.Uthread false;
+        let forced = ref false in
+        Trace.emit tr ~time:Time.zero Trace.Uthread
+          (lazy
+            (forced := true;
+             "x"));
+        check Alcotest.bool "not forced" false !forced);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sim_tests =
+  [
+    Alcotest.test_case "events fire in time order" `Quick (fun () ->
+        let sim = Sim.create () in
+        let log = ref [] in
+        ignore (Sim.schedule sim ~at:(Time.of_ns 30) (fun () -> log := 3 :: !log));
+        ignore (Sim.schedule sim ~at:(Time.of_ns 10) (fun () -> log := 1 :: !log));
+        ignore (Sim.schedule sim ~at:(Time.of_ns 20) (fun () -> log := 2 :: !log));
+        Sim.run sim;
+        check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !log);
+        check Alcotest.int "clock" 30 (Time.to_ns (Sim.now sim)));
+    Alcotest.test_case "same-instant events are FIFO" `Quick (fun () ->
+        let sim = Sim.create () in
+        let log = ref [] in
+        for i = 1 to 5 do
+          ignore
+            (Sim.schedule sim ~at:(Time.of_ns 7) (fun () -> log := i :: !log))
+        done;
+        Sim.run sim;
+        check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3; 4; 5 ]
+          (List.rev !log));
+    Alcotest.test_case "cancellation" `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired = ref false in
+        let h = Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> fired := true) in
+        Sim.cancel sim h;
+        Sim.run sim;
+        check Alcotest.bool "not fired" false !fired);
+    Alcotest.test_case "scheduling into the past rejected" `Quick (fun () ->
+        let sim = Sim.create () in
+        ignore (Sim.schedule sim ~at:(Time.of_ns 10) (fun () -> ()));
+        Sim.run sim;
+        Alcotest.check_raises "past"
+          (Invalid_argument "Sim.schedule: event in the past") (fun () ->
+            ignore (Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> ()))));
+    Alcotest.test_case "run ~until stops at horizon" `Quick (fun () ->
+        let sim = Sim.create () in
+        let count = ref 0 in
+        let rec tick () =
+          incr count;
+          ignore (Sim.schedule_after sim ~delay:(Time.us 1) tick)
+        in
+        ignore (Sim.schedule_after sim ~delay:(Time.us 1) tick);
+        Sim.run ~until:(Time.of_ns (Time.us 10)) sim;
+        check Alcotest.int "ten ticks" 10 !count);
+    Alcotest.test_case "run_while respects predicate" `Quick (fun () ->
+        let sim = Sim.create () in
+        let count = ref 0 in
+        let rec tick () =
+          incr count;
+          ignore (Sim.schedule_after sim ~delay:(Time.us 1) tick)
+        in
+        ignore (Sim.schedule_after sim ~delay:(Time.us 1) tick);
+        Sim.run_while sim (fun () -> !count < 7);
+        check Alcotest.int "seven ticks" 7 !count);
+    Alcotest.test_case "events can schedule events" `Quick (fun () ->
+        let sim = Sim.create () in
+        let result = ref 0 in
+        ignore
+          (Sim.schedule sim ~at:(Time.of_ns 1) (fun () ->
+               ignore
+                 (Sim.schedule_after sim ~delay:10 (fun () -> result := 42))));
+        Sim.run sim;
+        check Alcotest.int "nested" 42 !result;
+        check Alcotest.int "time" 11 (Time.to_ns (Sim.now sim)));
+    Alcotest.test_case "pending counts live events" `Quick (fun () ->
+        let sim = Sim.create () in
+        let h = Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> ()) in
+        ignore (Sim.schedule sim ~at:(Time.of_ns 6) (fun () -> ()));
+        check Alcotest.int "two" 2 (Sim.pending sim);
+        Sim.cancel sim h;
+        check Alcotest.int "one" 1 (Sim.pending sim));
+    Alcotest.test_case "stall raises" `Quick (fun () ->
+        let sim = Sim.create () in
+        Alcotest.check_raises "stalled" (Sim.Stalled "dead") (fun () ->
+            Sim.stall sim "dead"));
+    Alcotest.test_case "zero-delay event loops are detected as livelock"
+      `Quick (fun () ->
+        let sim = Sim.create () in
+        Sim.set_same_instant_limit sim 1000;
+        let rec spin () = ignore (Sim.schedule_after sim ~delay:0 spin) in
+        ignore (Sim.schedule_after sim ~delay:0 spin);
+        (match Sim.run sim with
+        | () -> Alcotest.fail "expected livelock detection"
+        | exception Sim.Stalled msg ->
+            check Alcotest.bool "mentions livelock" true
+              (String.length msg > 0));
+        (* time never advanced *)
+        check Alcotest.int "clock still zero" 0 (Time.to_ns (Sim.now sim)));
+    Alcotest.test_case "bursts below the limit are fine" `Quick (fun () ->
+        let sim = Sim.create () in
+        Sim.set_same_instant_limit sim 1000;
+        for _ = 1 to 900 do
+          ignore (Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> ()))
+        done;
+        Sim.run sim;
+        check Alcotest.int "processed" 5 (Time.to_ns (Sim.now sim)));
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ("time", time_tests);
+      ("pqueue", pqueue_tests);
+      ("rng", rng_tests);
+      ("stats", stats_tests);
+      ("trace", trace_tests);
+      ("sim", sim_tests);
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the simulated hardware: processors, machine, buffer cache,
+   I/O device, cost model. *)
+
+module Time = Sa_engine.Time
+module Sim = Sa_engine.Sim
+module Cpu = Sa_hw.Cpu
+module Machine = Sa_hw.Machine
+module Buffer_cache = Sa_hw.Buffer_cache
+module Io_device = Sa_hw.Io_device
+module Cost_model = Sa_hw.Cost_model
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Cpu                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let occupant = Cpu.Occupant { space = 1; detail = "test" }
+
+let cpu_tests =
+  [
+    Alcotest.test_case "segment completes after its length" `Quick (fun () ->
+        let sim = Sim.create () in
+        let cpu = Cpu.create sim 0 in
+        let done_at = ref Time.zero in
+        Cpu.begin_work cpu ~occupant ~length:(Time.us 10) (fun () ->
+            done_at := Sim.now sim);
+        check Alcotest.bool "busy" true (Cpu.is_busy cpu);
+        Sim.run sim;
+        check Alcotest.int "completion time" (Time.us 10) (Time.to_ns !done_at);
+        check Alcotest.bool "idle after" false (Cpu.is_busy cpu);
+        check Alcotest.int "busy time" (Time.us 10) (Cpu.busy_time cpu));
+    Alcotest.test_case "zero-length segment fires via queue" `Quick (fun () ->
+        let sim = Sim.create () in
+        let cpu = Cpu.create sim 0 in
+        let fired = ref false in
+        Cpu.begin_work cpu ~occupant ~length:0 (fun () -> fired := true);
+        check Alcotest.bool "not yet" false !fired;
+        Sim.run sim;
+        check Alcotest.bool "fired" true !fired);
+    Alcotest.test_case "double dispatch rejected" `Quick (fun () ->
+        let sim = Sim.create () in
+        let cpu = Cpu.create sim 0 in
+        Cpu.begin_work cpu ~occupant ~length:(Time.us 1) (fun () -> ());
+        Alcotest.check_raises "busy"
+          (Invalid_argument "Cpu.begin_work: cpu 0 already busy") (fun () ->
+            Cpu.begin_work cpu ~occupant ~length:(Time.us 1) (fun () -> ())));
+    Alcotest.test_case "preemption splits the segment exactly" `Quick
+      (fun () ->
+        let sim = Sim.create () in
+        let cpu = Cpu.create sim 0 in
+        let completed = ref false in
+        Cpu.begin_work cpu ~occupant ~length:(Time.us 10) (fun () ->
+            completed := true);
+        ignore
+          (Sim.schedule sim
+             ~at:(Time.of_ns (Time.us 4))
+             (fun () ->
+               match Cpu.preempt cpu with
+               | Some p ->
+                   check Alcotest.int "elapsed" (Time.us 4) p.Cpu.elapsed;
+                   check Alcotest.int "remaining" (Time.us 6) p.Cpu.remaining;
+                   (* finish elsewhere: re-charge the remainder *)
+                   Cpu.begin_work cpu ~occupant ~length:p.Cpu.remaining
+                     p.Cpu.resume
+               | None -> Alcotest.fail "expected busy cpu"));
+        Sim.run sim;
+        check Alcotest.bool "completed after resume" true !completed;
+        check Alcotest.int "total busy" (Time.us 10) (Cpu.busy_time cpu);
+        check Alcotest.int "ten us of work" (Time.us 10)
+          (Time.to_ns (Sim.now sim)));
+    Alcotest.test_case "preempting idle cpu yields None" `Quick (fun () ->
+        let sim = Sim.create () in
+        let cpu = Cpu.create sim 0 in
+        check Alcotest.bool "none" true (Cpu.preempt cpu = None));
+    Alcotest.test_case "segment counter" `Quick (fun () ->
+        let sim = Sim.create () in
+        let cpu = Cpu.create sim 0 in
+        Cpu.begin_work cpu ~occupant ~length:1 (fun () ->
+            Cpu.begin_work cpu ~occupant ~length:1 (fun () -> ()));
+        Sim.run sim;
+        check Alcotest.int "two segments" 2 (Cpu.segment_count cpu));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let machine_tests =
+  [
+    Alcotest.test_case "construction and lookup" `Quick (fun () ->
+        let sim = Sim.create () in
+        let m = Machine.create sim ~cpus:4 in
+        check Alcotest.int "count" 4 (Machine.cpu_count m);
+        check Alcotest.int "id" 2 (Cpu.id (Machine.cpu m 2));
+        Alcotest.check_raises "bad id" (Invalid_argument "Machine.cpu: id")
+          (fun () -> ignore (Machine.cpu m 4)));
+    Alcotest.test_case "idle and busy accounting" `Quick (fun () ->
+        let sim = Sim.create () in
+        let m = Machine.create sim ~cpus:3 in
+        Cpu.begin_work (Machine.cpu m 0) ~occupant ~length:(Time.us 10)
+          (fun () -> ());
+        check Alcotest.int "busy" 1 (Machine.busy_count m);
+        check Alcotest.int "idle" 2 (List.length (Machine.idle_cpus m));
+        Sim.run sim;
+        check Alcotest.int "none busy" 0 (Machine.busy_count m));
+    Alcotest.test_case "utilization" `Quick (fun () ->
+        let sim = Sim.create () in
+        let m = Machine.create sim ~cpus:2 in
+        Cpu.begin_work (Machine.cpu m 0) ~occupant ~length:(Time.us 10)
+          (fun () -> ());
+        Sim.run sim;
+        (* one of two cpus busy for the whole window: 50% *)
+        check (Alcotest.float 1e-9) "util" 0.5
+          (Machine.utilization m ~upto:(Sim.now sim)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Buffer cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"cache never holds more than capacity" ~count:200
+    QCheck.(pair (int_range 1 20) (list (int_range 0 50)))
+    (fun (cap, accesses) ->
+      let c = Buffer_cache.create ~capacity:cap in
+      List.iter
+        (fun b ->
+          match Buffer_cache.access c b with
+          | Buffer_cache.Miss -> Buffer_cache.fill c b
+          | Buffer_cache.Hit | Buffer_cache.Miss_in_flight -> ())
+        accesses;
+      let resident =
+        List.length
+          (List.filter (Buffer_cache.resident c) (List.init 51 (fun i -> i)))
+      in
+      resident <= cap)
+
+let hit_after_fill =
+  QCheck.Test.make ~name:"recently filled block hits while capacity lasts"
+    ~count:200
+    QCheck.(int_range 1 20)
+    (fun cap ->
+      let c = Buffer_cache.create ~capacity:cap in
+      (match Buffer_cache.access c 7 with
+      | Buffer_cache.Miss -> Buffer_cache.fill c 7
+      | Buffer_cache.Hit | Buffer_cache.Miss_in_flight -> ());
+      Buffer_cache.access c 7 = Buffer_cache.Hit)
+
+let cache_tests =
+  [
+    Alcotest.test_case "hit / miss basics" `Quick (fun () ->
+        let c = Buffer_cache.create ~capacity:2 in
+        check Alcotest.bool "miss" true (Buffer_cache.access c 1 = Buffer_cache.Miss);
+        Buffer_cache.fill c 1;
+        check Alcotest.bool "hit" true (Buffer_cache.access c 1 = Buffer_cache.Hit);
+        check Alcotest.int "hits" 1 (Buffer_cache.hits c);
+        check Alcotest.int "misses" 1 (Buffer_cache.misses c));
+    Alcotest.test_case "in-flight coalescing" `Quick (fun () ->
+        let c = Buffer_cache.create ~capacity:2 in
+        check Alcotest.bool "first miss" true
+          (Buffer_cache.access c 9 = Buffer_cache.Miss);
+        check Alcotest.bool "second coalesces" true
+          (Buffer_cache.access c 9 = Buffer_cache.Miss_in_flight);
+        Buffer_cache.fill c 9;
+        check Alcotest.bool "hit after fill" true
+          (Buffer_cache.access c 9 = Buffer_cache.Hit));
+    Alcotest.test_case "LRU evicts the least recent" `Quick (fun () ->
+        let c = Buffer_cache.create ~capacity:2 in
+        let touch b =
+          match Buffer_cache.access c b with
+          | Buffer_cache.Miss -> Buffer_cache.fill c b
+          | Buffer_cache.Hit | Buffer_cache.Miss_in_flight -> ()
+        in
+        touch 1;
+        touch 2;
+        touch 1;
+        (* 2 is now least recently used *)
+        touch 3;
+        check Alcotest.bool "1 stays" true (Buffer_cache.resident c 1);
+        check Alcotest.bool "2 evicted" false (Buffer_cache.resident c 2);
+        check Alcotest.bool "3 resident" true (Buffer_cache.resident c 3));
+    Alcotest.test_case "zero capacity always misses" `Quick (fun () ->
+        let c = Buffer_cache.create ~capacity:0 in
+        check Alcotest.bool "miss" true (Buffer_cache.access c 1 = Buffer_cache.Miss);
+        Buffer_cache.fill c 1;
+        check Alcotest.bool "still miss" true
+          (Buffer_cache.access c 1 = Buffer_cache.Miss));
+    Alcotest.test_case "hit ratio" `Quick (fun () ->
+        let c = Buffer_cache.create ~capacity:4 in
+        (match Buffer_cache.access c 1 with
+        | Buffer_cache.Miss -> Buffer_cache.fill c 1
+        | Buffer_cache.Hit | Buffer_cache.Miss_in_flight -> ());
+        ignore (Buffer_cache.access c 1);
+        ignore (Buffer_cache.access c 1);
+        check (Alcotest.float 1e-9) "2/3" (2.0 /. 3.0) (Buffer_cache.hit_ratio c);
+        Buffer_cache.reset_stats c;
+        check (Alcotest.float 1e-9) "reset" 1.0 (Buffer_cache.hit_ratio c));
+    qtest lru_never_exceeds_capacity;
+    qtest hit_after_fill;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* I/O device                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let io_tests =
+  [
+    Alcotest.test_case "fixed latency completes in parallel" `Quick (fun () ->
+        let sim = Sim.create () in
+        let dev = Io_device.create sim (Io_device.Fixed_latency (Time.ms 50)) in
+        let completions = ref [] in
+        for i = 1 to 3 do
+          Io_device.submit dev (fun () ->
+              completions := (i, Time.to_ns (Sim.now sim)) :: !completions)
+        done;
+        check Alcotest.int "in flight" 3 (Io_device.in_flight dev);
+        Sim.run sim;
+        check Alcotest.int "all done" 3 (Io_device.completed dev);
+        List.iter
+          (fun (_, t) -> check Alcotest.int "same instant" (Time.ms 50) t)
+          !completions);
+    Alcotest.test_case "multi-channel device overlaps up to its width"
+      `Quick (fun () ->
+        let sim = Sim.create () in
+        let dev =
+          Io_device.create sim
+            (Io_device.Channels { channels = 2; service_time = Time.ms 10 })
+        in
+        let times = ref [] in
+        for _ = 1 to 4 do
+          Io_device.submit dev (fun () ->
+              times := Time.to_ns (Sim.now sim) :: !times)
+        done;
+        Sim.run sim;
+        (* 4 requests on 2 channels: pairs complete at 10 ms and 20 ms *)
+        check (Alcotest.list Alcotest.int) "two waves"
+          [ Time.ms 10; Time.ms 10; Time.ms 20; Time.ms 20 ]
+          (List.rev !times));
+    Alcotest.test_case "zero channels rejected" `Quick (fun () ->
+        let sim = Sim.create () in
+        Alcotest.check_raises "channels" (Invalid_argument "Io_device: channels")
+          (fun () ->
+            ignore
+              (Io_device.create sim
+                 (Io_device.Channels { channels = 0; service_time = 1 }))));
+    Alcotest.test_case "fifo queue serializes" `Quick (fun () ->
+        let sim = Sim.create () in
+        let dev =
+          Io_device.create sim (Io_device.Fifo_queue { service_time = Time.ms 10 })
+        in
+        let times = ref [] in
+        for _ = 1 to 3 do
+          Io_device.submit dev (fun () ->
+              times := Time.to_ns (Sim.now sim) :: !times)
+        done;
+        Sim.run sim;
+        check (Alcotest.list Alcotest.int) "staggered"
+          [ Time.ms 10; Time.ms 20; Time.ms 30 ]
+          (List.rev !times);
+        check Alcotest.bool "mean latency grows" true
+          (Io_device.mean_latency dev > 10_000.0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cm_tests =
+  let c = Cost_model.firefly_cvax in
+  [
+    Alcotest.test_case "Table 4 closed forms" `Quick (fun () ->
+        check Alcotest.int "FT null fork" (Time.us 34)
+          (Cost_model.null_fork_expected c `Fastthreads);
+        check Alcotest.int "SA null fork" (Time.us 37)
+          (Cost_model.null_fork_expected c `Sa);
+        check Alcotest.int "Topaz null fork" (Time.us 948)
+          (Cost_model.null_fork_expected c `Topaz);
+        check Alcotest.int "Ultrix null fork" (Time.us 11300)
+          (Cost_model.null_fork_expected c `Ultrix);
+        check Alcotest.int "FT signal-wait" (Time.us 37)
+          (Cost_model.signal_wait_expected c `Fastthreads);
+        check Alcotest.int "SA signal-wait" (Time.us 42)
+          (Cost_model.signal_wait_expected c `Sa);
+        check Alcotest.int "Topaz signal-wait" (Time.us 441)
+          (Cost_model.signal_wait_expected c `Topaz);
+        check Alcotest.int "Ultrix signal-wait" (Time.us 1840)
+          (Cost_model.signal_wait_expected c `Ultrix));
+    Alcotest.test_case "primitive constants" `Quick (fun () ->
+        check Alcotest.int "procedure call 7us" (Time.us 7) c.procedure_call;
+        check Alcotest.int "kernel trap 19us" (Time.us 19) c.kernel_trap;
+        check Alcotest.int "io 50ms" (Time.ms 50) c.io_latency);
+    Alcotest.test_case "untuned upcall factor ~5x Topaz" `Quick (fun () ->
+        let untuned =
+          float_of_int c.upcall *. c.upcall_untuned_factor
+        in
+        check Alcotest.bool "roughly 1.2ms" true
+          (untuned > 1.0e6 && untuned < 1.4e6));
+  ]
+
+let () =
+  Alcotest.run "hw"
+    [
+      ("cpu", cpu_tests);
+      ("machine", machine_tests);
+      ("buffer_cache", cache_tests);
+      ("io_device", io_tests);
+      ("cost_model", cm_tests);
+    ]

@@ -1,0 +1,289 @@
+(* Tests for the alternative concurrency models (WorkCrews, Futures) built
+   on the thread package — the paper's flexibility claim made executable. *)
+
+module Time = Sa_engine.Time
+module P = Sa_program.Program
+module B = P.Build
+module Kconfig = Sa_kernel.Kconfig
+module System = Sa.System
+module Workcrew = Sa_models.Workcrew
+module Future = Sa_models.Future
+
+let check = Alcotest.check
+
+let run_sa ?(cpus = 4) prog =
+  let sys = System.create ~cpus ~kconfig:Kconfig.default () in
+  let job = System.submit sys ~backend:`Fastthreads_on_sa ~name:"model" prog in
+  System.run sys;
+  Sa_kernel.Kernel.check_invariants (System.kernel sys);
+  Option.get (System.elapsed job)
+
+let crew_tests =
+  [
+    Alcotest.test_case "flat bag drains completely" `Quick (fun () ->
+        let seen = ref [] in
+        let tasks =
+          List.init 20 (fun i -> Workcrew.task ~label:i (Time.ms 1))
+        in
+        let prog = Workcrew.run ~workers:3 ~on_task:(fun l -> seen := l :: !seen) tasks in
+        ignore (run_sa prog);
+        check Alcotest.int "all 20 ran" 20 (List.length !seen);
+        check
+          (Alcotest.list Alcotest.int)
+          "each exactly once"
+          (List.init 20 (fun i -> i))
+          (List.sort compare !seen));
+    Alcotest.test_case "children spawned by finishing tasks run too" `Quick
+      (fun () ->
+        let seen = ref 0 in
+        (* binary tree of depth 4: 1 + 2 + 4 + 8 = 15 tasks *)
+        let rec tree d =
+          Workcrew.task ~label:d
+            ~children:(if d = 0 then [] else [ tree (d - 1); tree (d - 1) ])
+            (Time.us 200)
+        in
+        let tasks = [ tree 3 ] in
+        check Alcotest.int "forest size" 15 (Workcrew.total_tasks tasks);
+        let prog = Workcrew.run ~workers:4 ~on_task:(fun _ -> incr seen) tasks in
+        ignore (run_sa prog);
+        check Alcotest.int "all nodes ran" 15 !seen);
+    Alcotest.test_case "crew parallelism speeds the bag up" `Quick (fun () ->
+        let tasks = List.init 16 (fun i -> Workcrew.task ~label:i (Time.ms 2)) in
+        let t1 = run_sa ~cpus:1 (Workcrew.run ~workers:1 tasks) in
+        let tasks2 = List.init 16 (fun i -> Workcrew.task ~label:i (Time.ms 2)) in
+        let t4 = run_sa ~cpus:4 (Workcrew.run ~workers:4 tasks2) in
+        check Alcotest.bool "4 workers at least 2.5x faster" true
+          (float_of_int t1 /. float_of_int t4 > 2.5));
+    Alcotest.test_case "accounting helpers" `Quick (fun () ->
+        let tasks =
+          [
+            Workcrew.task ~children:[ Workcrew.task (Time.ms 2) ] (Time.ms 1);
+            Workcrew.task (Time.ms 3);
+          ]
+        in
+        check Alcotest.int "count" 3 (Workcrew.total_tasks tasks);
+        check Alcotest.int "work" (Time.ms 6) (Workcrew.total_work tasks));
+    Alcotest.test_case "zero workers rejected" `Quick (fun () ->
+        Alcotest.check_raises "workers"
+          (Invalid_argument "Workcrew.run: workers") (fun () ->
+            ignore (Workcrew.run ~workers:0 [])));
+    Alcotest.test_case "crew runs on kernel threads too" `Quick (fun () ->
+        let seen = ref 0 in
+        let tasks = List.init 8 (fun i -> Workcrew.task ~label:i (Time.ms 1)) in
+        let prog = Workcrew.run ~workers:2 ~on_task:(fun _ -> incr seen) tasks in
+        let sys = System.create ~cpus:2 ~kconfig:Kconfig.native () in
+        let job = System.submit sys ~backend:`Topaz_kthreads ~name:"crew" prog in
+        System.run sys;
+        check Alcotest.bool "finished" true (System.finished job);
+        check Alcotest.int "all ran" 8 !seen);
+  ]
+
+let future_tests =
+  [
+    Alcotest.test_case "spawn and get" `Quick (fun () ->
+        let result = ref 0 in
+        let prog =
+          B.to_program
+            (let open B in
+             let* fut = Future.spawn ~work:(Time.ms 1) (fun () -> 21) in
+             let* v = Future.get fut in
+             return (result := v * 2))
+        in
+        ignore (run_sa prog);
+        check Alcotest.int "value" 42 !result);
+    Alcotest.test_case "map2 reduction tree computes correctly" `Quick
+      (fun () ->
+        let result = ref 0 in
+        let prog =
+          B.to_program
+            (let open B in
+             let* f1 = Future.spawn ~work:(Time.ms 1) (fun () -> 1) in
+             let* f2 = Future.spawn ~work:(Time.ms 1) (fun () -> 2) in
+             let* f3 = Future.spawn ~work:(Time.ms 1) (fun () -> 3) in
+             let* f4 = Future.spawn ~work:(Time.ms 1) (fun () -> 4) in
+             let* s12 = Future.map2 ~work:(Time.us 100) ( + ) f1 f2 in
+             let* s34 = Future.map2 ~work:(Time.us 100) ( + ) f3 f4 in
+             let* total = Future.map2 ~work:(Time.us 100) ( + ) s12 s34 in
+             let* v = Future.get total in
+             return (result := v))
+        in
+        ignore (run_sa prog);
+        check Alcotest.int "1+2+3+4" 10 !result);
+    Alcotest.test_case "leaves evaluate in parallel" `Quick (fun () ->
+        (* four 2ms leaves + the tree overhead on 4 cpus must be well under
+           the 8ms serial time *)
+        let prog =
+          B.to_program
+            (let open B in
+             let* f1 = Future.spawn ~work:(Time.ms 2) (fun () -> 1) in
+             let* f2 = Future.spawn ~work:(Time.ms 2) (fun () -> 1) in
+             let* f3 = Future.spawn ~work:(Time.ms 2) (fun () -> 1) in
+             let* f4 = Future.spawn ~work:(Time.ms 2) (fun () -> 1) in
+             let* s12 = Future.map2 ~work:0 ( + ) f1 f2 in
+             let* s34 = Future.map2 ~work:0 ( + ) f3 f4 in
+             let* total = Future.map2 ~work:0 ( + ) s12 s34 in
+             let* _ = Future.get total in
+             return ())
+        in
+        let elapsed = run_sa ~cpus:4 prog in
+        check Alcotest.bool "parallel" true (Time.span_to_ms elapsed < 6.0));
+    Alcotest.test_case "multiple touchers all get the value" `Quick (fun () ->
+        let sum = ref 0 in
+        let prog =
+          B.to_program
+            (let open B in
+             let* fut = Future.spawn ~work:(Time.ms 2) (fun () -> 7) in
+             let toucher =
+               B.to_program
+                 (let* v = Future.get fut in
+                  return (sum := !sum + v))
+             in
+             let* t1 = fork toucher in
+             let* t2 = fork toucher in
+             let* t3 = fork toucher in
+             let* () = join t1 in
+             let* () = join t2 in
+             join t3)
+        in
+        ignore (run_sa prog);
+        check Alcotest.int "three touchers" 21 !sum);
+    Alcotest.test_case "get after resolution is immediate" `Quick (fun () ->
+        let stamps = ref [] in
+        let prog =
+          B.to_program
+            (let open B in
+             let* fut = Future.spawn ~work:(Time.ms 1) (fun () -> ()) in
+             (* wait long enough for the producer to finish *)
+             let* () = compute (Time.ms 5) in
+             let* () = stamp 1 in
+             let* _ = Future.get fut in
+             stamp 2)
+        in
+        let sys = System.create ~cpus:2 ~kconfig:Kconfig.default () in
+        let _job =
+          System.submit sys ~backend:`Fastthreads_on_sa ~name:"f"
+            ~observer:(fun id t -> stamps := (id, t) :: !stamps)
+            prog
+        in
+        System.run sys;
+        match List.rev !stamps with
+        | [ (1, t1); (2, t2) ] ->
+            check Alcotest.bool "resolved get costs nothing" true
+              (Time.diff t2 t1 = 0)
+        | _ -> Alcotest.fail "expected two stamps");
+    Alcotest.test_case "is_resolved transitions" `Quick (fun () ->
+        let observed_before = ref true and observed_after = ref false in
+        let fut_box = ref None in
+        let prog =
+          B.to_program
+            (let open B in
+             let* fut = Future.spawn ~work:(Time.ms 2) (fun () -> 5) in
+             fut_box := Some fut;
+             let* () = return (observed_before := Future.is_resolved fut) in
+             let* _ = Future.get fut in
+             return (observed_after := Future.is_resolved fut))
+        in
+        ignore (run_sa prog);
+        check Alcotest.bool "unresolved at spawn" false !observed_before;
+        check Alcotest.bool "resolved after get" true !observed_after);
+  ]
+
+module Actor = Sa_models.Actor
+
+type msg = Work of int | Stop
+
+let actor_tests =
+  [
+    Alcotest.test_case "messages handled in order" `Quick (fun () ->
+        let handled = ref [] in
+        let actor = Actor.create ~name:"worker" () in
+        let prog =
+          B.to_program
+            (let open B in
+             let* tid =
+               Actor.spawn_handler actor ~work_per_message:(Time.us 100)
+                 ~handle:(fun m ->
+                   match m with Work i -> handled := i :: !handled | Stop -> ())
+                 ~stop:(function Stop -> true | Work _ -> false)
+                 ()
+             in
+             let* () = iter_list [ 1; 2; 3; 4 ] (fun i -> Actor.send actor (Work i)) in
+             let* () = Actor.send actor Stop in
+             join tid)
+        in
+        ignore (run_sa prog);
+        check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3; 4 ]
+          (List.rev !handled));
+    Alcotest.test_case "receiver blocks until a message arrives" `Quick
+      (fun () ->
+        let actor = Actor.create () in
+        let got = ref (-1) in
+        let prog =
+          B.to_program
+            (let open B in
+             let receiver =
+               B.to_program
+                 (let* m = Actor.receive actor in
+                  return (got := m))
+             in
+             let* tid = fork receiver in
+             (* receiver is already waiting when the message arrives *)
+             let* () = compute (Time.ms 2) in
+             let* () = Actor.send actor 99 in
+             join tid)
+        in
+        ignore (run_sa prog);
+        check Alcotest.int "delivered" 99 !got);
+    Alcotest.test_case "two producers one consumer" `Quick (fun () ->
+        let actor = Actor.create () in
+        let total = ref 0 in
+        let prog =
+          B.to_program
+            (let open B in
+             let producer base =
+               B.to_program
+                 (iter_list [ base; base + 1; base + 2 ] (fun i ->
+                      Actor.send actor (Work i)))
+             in
+             let* h =
+               Actor.spawn_handler actor ~work_per_message:(Time.us 50)
+                 ~handle:(fun m ->
+                   match m with Work i -> total := !total + i | Stop -> ())
+                 ~stop:(function Stop -> true | Work _ -> false)
+                 ()
+             in
+             let* p1 = fork (producer 10) in
+             let* p2 = fork (producer 20) in
+             let* () = join p1 in
+             let* () = join p2 in
+             let* () = Actor.send actor Stop in
+             join h)
+        in
+        ignore (run_sa prog);
+        (* 10+11+12 + 20+21+22 = 96 *)
+        check Alcotest.int "sum" 96 !total);
+    Alcotest.test_case "mailbox length visible to host" `Quick (fun () ->
+        let actor = Actor.create () in
+        let mid = ref (-1) in
+        let prog =
+          B.to_program
+            (let open B in
+             let* () = Actor.send actor 1 in
+             let* () = Actor.send actor 2 in
+             mid := Actor.pending actor;
+             let* _ = Actor.receive actor in
+             let* _ = Actor.receive actor in
+             return ())
+        in
+        ignore (run_sa prog);
+        check Alcotest.int "two queued before receives" 2 !mid;
+        check Alcotest.int "drained" 0 (Actor.pending actor));
+  ]
+
+let () =
+  Alcotest.run "models"
+    [
+      ("workcrew", crew_tests);
+      ("futures", future_tests);
+      ("actors", actor_tests);
+    ]

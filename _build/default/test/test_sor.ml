@@ -1,0 +1,131 @@
+(* SOR solver correctness and its parallel workload. *)
+
+module Time = Sa_engine.Time
+module Kconfig = Sa_kernel.Kconfig
+module System = Sa.System
+module Sw = Sa_workload.Sor_workload
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let solver_tests =
+  [
+    Alcotest.test_case "converges on the Laplace problem" `Quick (fun () ->
+        let g = Sor.create ~rows:32 ~cols:32 () in
+        let iters, delta = Sor.solve g ~omega:1.8 ~tol:1e-6 ~max_iters:2000 in
+        check Alcotest.bool "converged" true (delta < 1e-6);
+        check Alcotest.bool "used a sensible iteration count" true
+          (iters > 10 && iters < 2000);
+        check Alcotest.bool "small residual" true (Sor.residual g < 1e-4));
+    Alcotest.test_case "solution matches the analytic 1-D ramp" `Quick
+      (fun () ->
+        (* Boundary: u = row / (rows-1) on both vertical edges, 0 on top,
+           1 on bottom: the harmonic solution is the linear ramp. *)
+        let rows = 24 and cols = 24 in
+        let ramp r _ = float_of_int r /. float_of_int (rows - 1) in
+        let g = Sor.create ~rows ~cols ~boundary:ramp () in
+        ignore (Sor.solve g ~omega:1.8 ~tol:1e-9 ~max_iters:5000);
+        let ok = ref true in
+        for r = 1 to rows - 2 do
+          for c = 1 to cols - 2 do
+            let expect = float_of_int r /. float_of_int (rows - 1) in
+            if abs_float (Sor.get g r c -. expect) > 1e-5 then ok := false
+          done
+        done;
+        check Alcotest.bool "linear ramp recovered" true !ok);
+    Alcotest.test_case "maximum principle holds" `Quick (fun () ->
+        (* harmonic functions attain extremes on the boundary: interior
+           values must stay within the boundary range [0, 1] *)
+        let g = Sor.create ~rows:20 ~cols:20 () in
+        ignore (Sor.solve g ~omega:1.7 ~tol:1e-8 ~max_iters:5000);
+        let ok = ref true in
+        for r = 1 to 18 do
+          for c = 1 to 18 do
+            let v = Sor.get g r c in
+            if v < -1e-9 || v > 1.0 +. 1e-9 then ok := false
+          done
+        done;
+        check Alcotest.bool "bounded by boundary" true !ok);
+    Alcotest.test_case "red and black sweeps touch disjoint cells" `Quick
+      (fun () ->
+        let g1 = Sor.create ~rows:10 ~cols:10 () in
+        let g2 = Sor.create ~rows:10 ~cols:10 () in
+        (* red sweep must not read anything black writes in the same
+           half-sweep: doing red on both grids yields identical fields *)
+        ignore (Sor.sweep_color g1 ~omega:1.5 ~black:false);
+        ignore (Sor.sweep_color g2 ~omega:1.5 ~black:false);
+        let same = ref true in
+        for r = 0 to 9 do
+          for c = 0 to 9 do
+            if Sor.get g1 r c <> Sor.get g2 r c then same := false
+          done
+        done;
+        check Alcotest.bool "deterministic half-sweep" true !same);
+    Alcotest.test_case "tiny grids rejected" `Quick (fun () ->
+        Alcotest.check_raises "too small"
+          (Invalid_argument "Sor.create: grid too small") (fun () ->
+            ignore (Sor.create ~rows:2 ~cols:10 ())));
+  ]
+
+let omega_speed =
+  QCheck.Test.make ~name:"over-relaxation beats Gauss-Seidel" ~count:5
+    QCheck.(int_range 16 28)
+    (fun n ->
+      let iters omega =
+        let g = Sor.create ~rows:n ~cols:n () in
+        fst (Sor.solve g ~omega ~tol:1e-5 ~max_iters:5000)
+      in
+      iters 1.8 < iters 1.0)
+
+let workload_tests =
+  [
+    Alcotest.test_case "prepared workload reflects the real solve" `Quick
+      (fun () ->
+        let p = { Sw.default_params with Sw.grid_rows = 32; grid_cols = 32 } in
+        let prep = Sw.prepare p in
+        check Alcotest.bool "iterations from the solver" true
+          (prep.Sw.iterations > 5);
+        check Alcotest.bool "positive seq time" true (prep.Sw.seq_time > 0));
+    Alcotest.test_case "parallel run beats one processor" `Quick (fun () ->
+        let p =
+          { Sw.default_params with Sw.grid_rows = 48; grid_cols = 48; max_iters = 60 }
+        in
+        let prep = Sw.prepare p in
+        let run cpus parallelism =
+          let sys = System.create ~cpus ~kconfig:Kconfig.default () in
+          let job =
+            System.submit sys ~backend:`Fastthreads_on_sa ~name:"sor"
+              ~parallelism prep.Sw.program
+          in
+          System.run sys;
+          Option.get (System.elapsed job)
+        in
+        let t1 = run 6 1 in
+        let t6 = run 6 6 in
+        check Alcotest.bool "speedup over 3x" true
+          (float_of_int t1 /. float_of_int t6 > 3.0));
+    Alcotest.test_case "barrier-heavy SOR punishes oblivious time-slicing"
+      `Slow (fun () ->
+        (* two SOR jobs multiprogrammed: the Table 5 effect, sharper because
+           of the per-half-sweep barriers *)
+        let prep = Sw.prepare Sw.default_params in
+        let run kconfig backend =
+          let sys = System.create ~cpus:6 ~kconfig () in
+          let j1 = System.submit sys ~backend ~name:"sor1" prep.Sw.program in
+          let j2 = System.submit sys ~backend ~name:"sor2" prep.Sw.program in
+          System.run sys;
+          let el j = float_of_int (Option.get (System.elapsed j)) in
+          (el j1 +. el j2) /. 2.0
+        in
+        let orig = run Kconfig.native (`Fastthreads_on_kthreads 6) in
+        let sa = run Kconfig.default `Fastthreads_on_sa in
+        check Alcotest.bool "SA at least 25% faster" true (orig > 1.25 *. sa));
+  ]
+
+let () =
+  Alcotest.run "sor"
+    [
+      ("solver", solver_tests);
+      ("properties", [ qtest omega_speed ]);
+      ("workload", workload_tests);
+    ]

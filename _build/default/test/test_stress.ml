@@ -1,0 +1,219 @@
+(* Randomized stress tests: generate structurally valid thread programs and
+   run them to completion on every backend, checking kernel invariants and
+   determinism.  This is the fuzzer for the scheduling machinery — most of
+   the subtle bugs found during development (lost wakeups, stale activation
+   bindings, zero-time livelocks) are exactly the kind of thing random
+   interleavings surface. *)
+
+module Time = Sa_engine.Time
+module P = Sa_program.Program
+module B = P.Build
+module Kconfig = Sa_kernel.Kconfig
+module Kernel = Sa_kernel.Kernel
+module System = Sa.System
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* A generator of correct-by-construction programs                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Description of a program as data, so it can shrink and print. *)
+type spec =
+  | Compute of int  (* microseconds, 1..500 *)
+  | Io of int  (* microseconds, 1..2000 *)
+  | Cache of int  (* block 0..7 *)
+  | Yield
+  | Critical of int * spec list  (* mutex index 0..2, balanced by shape *)
+  | Fork_join of spec list list  (* children, all joined *)
+  | Seq of spec list  (* grouping; also produced by shrinking *)
+
+let rec pp_spec s =
+  match s with
+  | Compute n -> Printf.sprintf "C%d" n
+  | Io n -> Printf.sprintf "IO%d" n
+  | Cache b -> Printf.sprintf "R%d" b
+  | Yield -> "Y"
+  | Critical (m, body) ->
+      Printf.sprintf "L%d{%s}" m (String.concat ";" (List.map pp_spec body))
+  | Fork_join kids ->
+      Printf.sprintf "F[%s]"
+        (String.concat "|"
+           (List.map (fun k -> String.concat ";" (List.map pp_spec k)) kids))
+  | Seq body -> String.concat ";" (List.map pp_spec body)
+
+let spec_gen =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [
+        (4, map (fun n -> Compute n) (int_range 1 500));
+        (2, map (fun n -> Io n) (int_range 1 2000));
+        (2, map (fun b -> Cache b) (int_range 0 7));
+        (1, return Yield);
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (4, leaf);
+          ( 2,
+            map2
+              (fun m body -> Critical (m, body))
+              (int_range 0 2)
+              (list_size (int_range 1 3) (node (depth - 1))) );
+          ( 2,
+            map
+              (fun kids -> Fork_join kids)
+              (list_size (int_range 1 3)
+                 (list_size (int_range 1 3) (node (depth - 1)))) );
+          (1, map (fun body -> Seq body) (list_size (int_range 1 3) (node (depth - 1))));
+        ]
+  in
+  list_size (int_range 1 5) (node 2)
+
+let spec_arb =
+  QCheck.make spec_gen ~print:(fun specs ->
+      String.concat ";" (List.map pp_spec specs))
+
+(* Compile a spec to a program.  Mutexes come from a per-run pool so every
+   Critical is balanced and deadlock-free by construction (no nesting of
+   DIFFERENT mutexes in reverse order: we simply forbid nesting entirely by
+   flattening inner criticals to computes). *)
+let compile specs =
+  let mutexes = Array.init 3 (fun i -> P.Mutex.create ~name:(Printf.sprintf "m%d" i) ()) in
+  let rec go ?(in_cs = false) s =
+    let open B in
+    match s with
+    | Compute n -> compute (Time.us n)
+    | Io n -> if in_cs then compute (Time.us n) else io (Time.us n)
+    | Cache b -> if in_cs then compute (Time.us 7) else cache_read b
+    | Yield -> yield
+    | Critical (m, body) ->
+        if in_cs then seq ~in_cs:true body
+        else critical mutexes.(m) (seq ~in_cs:true body)
+    | Fork_join kids ->
+        if in_cs then seq ~in_cs:true (List.concat kids)
+        else
+          let* tids =
+            let rec forks acc = function
+              | [] -> return (List.rev acc)
+              | k :: rest ->
+                  let* tid = fork (B.to_program (seq ~in_cs:false k)) in
+                  forks (tid :: acc) rest
+            in
+            forks [] kids
+          in
+          iter_list tids (fun tid -> join tid)
+    | Seq body -> seq ~in_cs body
+  and seq ?(in_cs = false) body =
+    let open B in
+    let rec go_list = function
+      | [] -> return ()
+      | s :: rest ->
+          let* () = go ~in_cs s in
+          go_list rest
+    in
+    go_list body
+  in
+  B.to_program (seq specs)
+
+let backends =
+  [
+    ("ft-sa", Kconfig.default, `Fastthreads_on_sa);
+    ("ft-kt", Kconfig.native, `Fastthreads_on_kthreads 3);
+    ("topaz", Kconfig.native, `Topaz_kthreads);
+    ("ultrix", Kconfig.native, `Ultrix_processes);
+  ]
+
+let run_spec kconfig backend specs =
+  let prog = compile specs in
+  let sys = System.create ~cpus:3 ~kconfig () in
+  let job =
+    System.submit sys ~backend ~name:"fuzz" ~cache_capacity:4
+      ~prewarm_cache:false prog
+  in
+  System.run ~horizon:(Time.s 120) sys;
+  Kernel.check_invariants (System.kernel sys);
+  Option.get (System.elapsed job)
+
+let fuzz_backend (bname, kconfig, backend) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "random programs finish with invariants [%s]" bname)
+    ~count:40 spec_arb
+    (fun specs ->
+      match run_spec kconfig backend specs with
+      | _elapsed -> true
+      | exception Failure m -> QCheck.Test.fail_reportf "stuck: %s" m)
+
+let determinism_fuzz =
+  QCheck.Test.make ~name:"random programs are deterministic [ft-sa]" ~count:20
+    spec_arb
+    (fun specs ->
+      let a = run_spec Kconfig.default `Fastthreads_on_sa specs in
+      let b = run_spec Kconfig.default `Fastthreads_on_sa specs in
+      a = b)
+
+let backend_agreement =
+  QCheck.Test.make
+    ~name:"user-level backends stay within 100x of each other" ~count:20
+    spec_arb
+    (fun specs ->
+      (* a sanity bound: wildly divergent runtimes signal a scheduling bug
+         (e.g. a lost wakeup recovered only by a quantum) *)
+      let sa = run_spec Kconfig.default `Fastthreads_on_sa specs in
+      let kt = run_spec Kconfig.native (`Fastthreads_on_kthreads 3) specs in
+      let ratio =
+        float_of_int (max sa kt) /. float_of_int (max 1 (min sa kt))
+      in
+      ratio < 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* A longer multiprogrammed soak                                       *)
+(* ------------------------------------------------------------------ *)
+
+let soak_tests =
+  [
+    Alcotest.test_case "mixed multiprogrammed soak" `Slow (fun () ->
+        let nbody =
+          Sa_workload.Nbody.prepare
+            { Sa_workload.Nbody.default_params with n_bodies = 100; steps = 3 }
+        in
+        let server =
+          Sa_workload.Server.program
+            { Sa_workload.Server.default_params with requests = 60 }
+        in
+        let sys = System.create ~cpus:6 ~kconfig:Kconfig.default () in
+        let j1 =
+          System.submit sys ~backend:`Fastthreads_on_sa ~name:"nbody-sa"
+            ~cache_capacity:10 ~prewarm_cache:false
+            nbody.Sa_workload.Nbody.program
+        in
+        let j2 =
+          System.submit sys ~backend:`Topaz_kthreads ~name:"legacy"
+            nbody.Sa_workload.Nbody.program
+        in
+        let j3 =
+          System.submit sys ~backend:`Fastthreads_on_sa ~name:"server" server
+        in
+        System.run sys;
+        List.iter
+          (fun j -> check Alcotest.bool (System.job_name j) true (System.finished j))
+          [ j1; j2; j3 ];
+        Kernel.check_invariants (System.kernel sys);
+        let st = Kernel.stats (System.kernel sys) in
+        check Alcotest.bool "plenty of scheduling activity" true
+          (st.Kernel.upcalls > 20 && st.Kernel.reallocations > 5));
+  ]
+
+let () =
+  Alcotest.run "stress"
+    [
+      ("fuzz", List.map qtest (List.map fuzz_backend backends));
+      ("determinism", [ qtest determinism_fuzz ]);
+      ("agreement", [ qtest backend_agreement ]);
+      ("soak", soak_tests);
+    ]
