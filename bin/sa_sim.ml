@@ -4,7 +4,8 @@
      run      run the N-body application on a chosen threading backend
      latency  run a latency microbenchmark (null-fork / signal-wait / upcall)
      report   regenerate the paper's tables and figures
-     trace    run a small workload with the kernel/upcall trace streamed live *)
+     trace    run a small workload with the kernel/upcall trace streamed live
+     chaos    run seeded fault-injection campaigns with invariant checking *)
 
 module Time = Sa_engine.Time
 module Sim = Sa_engine.Sim
@@ -400,6 +401,122 @@ let trace_cmd =
           streamed to stdout.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let module Campaign = Sa_fault.Campaign in
+  let module Injector = Sa_fault.Injector in
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  let base_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let mode_conv =
+    let parse = function
+      | "both" -> Ok `Both
+      | "native" -> Ok `Native
+      | "explicit" -> Ok `Explicit
+      | s -> Error (`Msg (Printf.sprintf "unknown mode %S (both|native|explicit)" s))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf
+        (match m with `Both -> "both" | `Native -> "native" | `Explicit -> "explicit")
+    in
+    Arg.conv (parse, print)
+  in
+  let mode_arg =
+    Arg.(
+      value & opt mode_conv `Both
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Kernel personality: $(b,both), $(b,native) or $(b,explicit).")
+  in
+  let kinds_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "inject" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated injector kinds: $(b,preempt), $(b,io-faults), \
+             $(b,daemon-storm), $(b,priority-flap), $(b,space-churn).  \
+             Default: all.")
+  in
+  let action cpus seeds base_seed mode kinds =
+    let kinds =
+      match kinds with
+      | None -> Injector.all_kinds
+      | Some names ->
+          List.map
+            (fun n ->
+              match Injector.kind_of_name n with
+              | Some k -> k
+              | None ->
+                  Printf.eprintf "unknown injector kind %S\n" n;
+                  exit 2)
+            names
+    in
+    let config =
+      {
+        Campaign.default with
+        Campaign.cpus;
+        injector = { Injector.default with Injector.kinds };
+      }
+    in
+    let modes =
+      match mode with
+      | `Both -> [ Kconfig.Explicit_allocation; Kconfig.Native_oblivious ]
+      | `Native -> [ Kconfig.Native_oblivious ]
+      | `Explicit -> [ Kconfig.Explicit_allocation ]
+    in
+    let results =
+      Campaign.run_sweep ~config
+        ~on_result:(fun r ->
+          Format.printf "%a@." Campaign.pp_result r)
+        ~modes
+        ~seeds:(List.init seeds (fun i -> base_seed + i))
+        ()
+    in
+    let failures = Campaign.failures results in
+    Printf.printf "\n%d runs, %d clean, %d failures\n" (List.length results)
+      (List.length results - List.length failures)
+      (List.length failures);
+    if failures <> [] then begin
+      List.iter
+        (fun r ->
+          Printf.printf
+            "replay: sa_sim chaos --seeds 1 --base-seed %d --mode %s --cpus %d\n"
+            r.Campaign.seed
+            (Campaign.mode_name r.Campaign.mode)
+            cpus;
+          match r.Campaign.outcome with
+          | Campaign.Violation msg | Campaign.No_completion msg ->
+              print_newline ();
+              print_endline msg
+          | Campaign.Completed _ -> ())
+        failures;
+      exit 1
+    end
+  in
+  let term =
+    Term.(
+      const action $ cpus_arg $ seeds_arg $ base_seed_arg $ mode_arg
+      $ kinds_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep seeded fault-injection campaigns (forced preemptions, lying \
+          I/O, daemon storms, priority flaps, space churn) with runtime \
+          invariant checking; any violation replays deterministically from \
+          its seed.")
+    term
+
 let () =
   let info =
     Cmd.info "sa_sim" ~version:"1.0.0"
@@ -410,4 +527,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; latency_cmd; sor_cmd; server_cmd; report_cmd; trace_cmd ]))
+          [
+            run_cmd;
+            latency_cmd;
+            sor_cmd;
+            server_cmd;
+            report_cmd;
+            trace_cmd;
+            chaos_cmd;
+          ]))

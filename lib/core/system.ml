@@ -107,6 +107,7 @@ let submit t ~backend ~name ?cache_capacity ?(prewarm_cache = true) ?disk
   job
 
 let job_name j = j.j_name
+let jobs t = List.rev t.jobs
 
 let completion_time j =
   match j.j_impl with
@@ -129,6 +130,12 @@ let uthread_stats j =
   | J_direct _ -> None
 
 let cache j = j.j_cache
+
+let ft_core_state j =
+  match j.j_impl with
+  | J_ft_kt ft -> Some (Ft_kt.core ft)
+  | J_ft_sa ft -> Some (Ft_sa.core ft)
+  | J_direct _ -> None
 
 let space j =
   match j.j_impl with

@@ -86,6 +86,14 @@ val completion_time : job -> Time.t option
 val elapsed : job -> Time.span option
 (** Simulated time from submission to the last thread's completion. *)
 
+val jobs : t -> job list
+(** All submitted jobs, in submission order. *)
+
+val ft_core_state : job -> Sa_uthread.Ft_core.state option
+(** The FastThreads core of a [`Fastthreads_*] job ([None] for jobs run
+    directly on kernel threads).  Gives auditors access to ground-truth
+    thread states and ready-queue contents. *)
+
 val uthread_stats : job -> Sa_uthread.Ft_core.stats option
 (** Thread-package statistics, for the two FastThreads backends. *)
 

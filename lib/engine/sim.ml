@@ -24,6 +24,7 @@ let create ?trace () =
 
 let now t = t.clock
 let trace t = t.trace
+let same_instant_count t = t.same_instant
 
 let schedule t ~at f =
   if Time.compare at t.clock < 0 then
@@ -55,9 +56,11 @@ let step t =
           raise
             (Stalled
                (Printf.sprintf
-                  "livelock: %d events fired at %s without the clock advancing"
+                  "livelock: %d events fired without the clock advancing \
+                   [clock=%s pending=%d same-instant=%d]"
                   t.same_instant
-                  (Format.asprintf "%a" Time.pp t.clock)))
+                  (Format.asprintf "%a" Time.pp t.clock)
+                  (Pqueue.length t.queue) t.same_instant))
       end;
       f ();
       true
@@ -83,5 +86,10 @@ let run_while t pred =
   done
 
 let stall t msg =
+  let msg =
+    Printf.sprintf "%s [clock=%s pending=%d same-instant=%d]" msg
+      (Format.asprintf "%a" Time.pp t.clock)
+      (Pqueue.length t.queue) t.same_instant
+  in
   Trace.emitf t.trace ~time:t.clock Trace.Sim "STALL: %s" msg;
   raise (Stalled msg)

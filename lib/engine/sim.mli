@@ -52,7 +52,14 @@ val run_while : t -> (unit -> bool) -> unit
 exception Stalled of string
 
 val stall : t -> string -> 'a
-(** Abort the simulation, reporting a deadlock or invariant violation. *)
+(** Abort the simulation, reporting a deadlock or invariant violation.  The
+    message carried by {!Stalled} is suffixed with the current clock, the
+    pending-event count and the same-instant counter, so a failure report is
+    enough to locate the stall in a deterministic replay. *)
+
+val same_instant_count : t -> int
+(** Events fired at the current instant since the clock last advanced (the
+    counter guarded by {!set_same_instant_limit}). *)
 
 val set_same_instant_limit : t -> int -> unit
 (** Livelock guard: if more than this many events fire without the clock

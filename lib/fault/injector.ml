@@ -1,0 +1,244 @@
+module Time = Sa_engine.Time
+module Sim = Sa_engine.Sim
+module Rng = Sa_engine.Rng
+module Kernel = Sa_kernel.Kernel
+module Io_device = Sa_hw.Io_device
+module Buffer_cache = Sa_hw.Buffer_cache
+module System = Sa.System
+
+type kind = Preempt | Io_faults | Daemon_storm | Priority_flap | Space_churn
+
+let all_kinds = [ Preempt; Io_faults; Daemon_storm; Priority_flap; Space_churn ]
+
+let kind_name = function
+  | Preempt -> "preempt"
+  | Io_faults -> "io-faults"
+  | Daemon_storm -> "daemon-storm"
+  | Priority_flap -> "priority-flap"
+  | Space_churn -> "space-churn"
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type config = {
+  kinds : kind list;
+  preempt_gap_us : float;
+  spurious_prob : float;
+  io_fault_prob : float;
+  io_delay : Time.span;
+  cache_fault_prob : float;
+  storm_gap_us : float;
+  storm_size : int;
+  storm_burst : Time.span;
+  flap_gap_us : float;
+  flap_hold : Time.span;
+  churn_gap_us : float;
+}
+
+let default =
+  {
+    kinds = all_kinds;
+    preempt_gap_us = 300.0;
+    spurious_prob = 0.15;
+    io_fault_prob = 0.2;
+    io_delay = Time.us 400;
+    cache_fault_prob = 0.05;
+    storm_gap_us = 3_000.0;
+    storm_size = 3;
+    storm_burst = Time.us 200;
+    flap_gap_us = 2_000.0;
+    flap_hold = Time.ms 1;
+    churn_gap_us = 4_000.0;
+  }
+
+type t = {
+  sys : System.t;
+  cfg : config;
+  mutable n_preempts : int;
+  mutable n_spurious : int;
+  mutable n_io_faults : int;
+  mutable n_cache_faults : int;
+  mutable n_storms : int;
+  mutable n_flaps : int;
+  mutable n_churns : int;
+}
+
+let injected t =
+  [
+    ("preempt", t.n_preempts);
+    ("spurious", t.n_spurious);
+    ("io-fault", t.n_io_faults);
+    ("cache-fault", t.n_cache_faults);
+    ("daemon-storm", t.n_storms);
+    ("priority-flap", t.n_flaps);
+    ("space-churn", t.n_churns);
+  ]
+
+let active t = List.exists (fun j -> not (System.finished j)) (System.jobs t.sys)
+
+(* A recurring injector: exponentially-distributed gaps from a private
+   stream, stopping by itself once every job has finished (so the
+   completion predicate driving the simulation still terminates). *)
+let recurring t rng ~mean_us action =
+  let sim = System.sim t.sys in
+  let rec tick () =
+    let delay = Time.us_f (max 1.0 (Rng.exponential rng ~mean:mean_us)) in
+    ignore
+      (Sim.schedule_after sim ~delay (fun () ->
+           if active t then begin
+             action ();
+             tick ()
+           end))
+  in
+  tick ()
+
+(* --- Preempt: forced reallocations at adversarial instants ------------ *)
+
+let install_preempt t rng =
+  let kern = System.kernel t.sys in
+  let cpus = Sa_hw.Machine.cpu_count (System.machine t.sys) in
+  recurring t rng ~mean_us:t.cfg.preempt_gap_us (fun () ->
+      if Kernel.chaos_preempt kern ~cpu:(Rng.int rng cpus) then
+        t.n_preempts <- t.n_preempts + 1;
+      if Rng.float rng 1.0 < t.cfg.spurious_prob then
+        if Kernel.chaos_spurious_completion kern ~pick:(Rng.int rng 1_000_000)
+        then t.n_spurious <- t.n_spurious + 1)
+
+(* --- Io_faults: lying completion interrupts and flaky devices --------- *)
+
+let install_io_faults t rng =
+  let kern = System.kernel t.sys in
+  let prob = t.cfg.io_fault_prob in
+  Kernel.set_io_fault_injector kern
+    (Some
+       (fun () ->
+         let x = Rng.float rng 1.0 in
+         if x < prob /. 2.0 then begin
+           t.n_io_faults <- t.n_io_faults + 1;
+           Some Kernel.Io_transient_error
+         end
+         else if x < prob then begin
+           t.n_io_faults <- t.n_io_faults + 1;
+           Some (Kernel.Io_delay t.cfg.io_delay)
+         end
+         else None));
+  List.iter
+    (fun job ->
+      (match System.cache job with
+      | Some cache ->
+          let crng = Rng.split rng in
+          Buffer_cache.set_chaos_hook cache
+            (Some
+               (fun () ->
+                 if Rng.float crng 1.0 < t.cfg.cache_fault_prob then begin
+                   t.n_cache_faults <- t.n_cache_faults + 1;
+                   true
+                 end
+                 else false))
+      | None -> ());
+      match Option.bind (System.ft_core_state job) Sa_uthread.Ft_core.io_device
+      with
+      | Some dev ->
+          let drng = Rng.split rng in
+          Io_device.set_fault_hook dev
+            (Some
+               (fun () ->
+                 let x = Rng.float drng 1.0 in
+                 if x < prob /. 2.0 then begin
+                   t.n_io_faults <- t.n_io_faults + 1;
+                   Some Io_device.Fault_transient_error
+                 end
+                 else if x < prob then begin
+                   t.n_io_faults <- t.n_io_faults + 1;
+                   Some (Io_device.Fault_delay t.cfg.io_delay)
+                 end
+                 else None))
+      | None -> ())
+    (System.jobs t.sys)
+
+(* --- Daemon_storm: bursts of high-priority kernel threads ------------- *)
+
+let install_daemon_storm t rng =
+  let kern = System.kernel t.sys in
+  let storm_sp = Kernel.new_kthread_space kern ~name:"chaos-storm" ~priority:5 () in
+  recurring t rng ~mean_us:t.cfg.storm_gap_us (fun () ->
+      t.n_storms <- t.n_storms + 1;
+      for i = 1 to t.cfg.storm_size do
+        ignore
+          (Kernel.spawn_kthread kern storm_sp
+             ~name:(Printf.sprintf "storm-%d" i)
+             ~body:(fun ops ->
+               ops.Kernel.kt_charge t.cfg.storm_burst (fun () ->
+                   ops.Kernel.kt_exit ()))
+             ())
+      done)
+
+(* --- Priority_flap: transient allocation-priority boosts -------------- *)
+
+let install_priority_flap t rng =
+  let kern = System.kernel t.sys in
+  let sim = System.sim t.sys in
+  let spaces =
+    List.map (fun j -> System.space j) (System.jobs t.sys) |> Array.of_list
+  in
+  if Array.length spaces > 0 then
+    recurring t rng ~mean_us:t.cfg.flap_gap_us (fun () ->
+        let sp = spaces.(Rng.int rng (Array.length spaces)) in
+        t.n_flaps <- t.n_flaps + 1;
+        (* Boost then always restore: a flap perturbs the allocator twice
+           without permanently starving the other spaces. *)
+        Kernel.set_space_priority kern sp (1 + Rng.int rng 2);
+        ignore
+          (Sim.schedule_after sim ~delay:t.cfg.flap_hold (fun () ->
+               Kernel.set_space_priority kern sp 0)))
+
+(* --- Space_churn: transient address spaces -------------------------- *)
+
+let install_space_churn t rng =
+  let kern = System.kernel t.sys in
+  recurring t rng ~mean_us:t.cfg.churn_gap_us (fun () ->
+      t.n_churns <- t.n_churns + 1;
+      let sp =
+        Kernel.new_kthread_space kern
+          ~name:(Printf.sprintf "churn-%d" t.n_churns)
+          ()
+      in
+      let threads = 1 + Rng.int rng 2 in
+      for i = 1 to threads do
+        let work = Time.us (50 + Rng.int rng 250) in
+        ignore
+          (Kernel.spawn_kthread kern sp
+             ~name:(Printf.sprintf "churn-%d.%d" t.n_churns i)
+             ~body:(fun ops ->
+               ops.Kernel.kt_charge work (fun () -> ops.Kernel.kt_exit ()))
+             ())
+      done)
+
+let attach ?(config = default) ~seed sys =
+  let t =
+    {
+      sys;
+      cfg = config;
+      n_preempts = 0;
+      n_spurious = 0;
+      n_io_faults = 0;
+      n_cache_faults = 0;
+      n_storms = 0;
+      n_flaps = 0;
+      n_churns = 0;
+    }
+  in
+  (* One independent stream per kind, split in a fixed order so enabling or
+     disabling one kind does not shift the draws of another. *)
+  let root = Rng.create seed in
+  let streams = List.map (fun k -> (k, Rng.split root)) all_kinds in
+  List.iter
+    (fun (k, rng) ->
+      if List.mem k config.kinds then
+        match k with
+        | Preempt -> install_preempt t rng
+        | Io_faults -> install_io_faults t rng
+        | Daemon_storm -> install_daemon_storm t rng
+        | Priority_flap -> install_priority_flap t rng
+        | Space_churn -> install_space_churn t rng)
+    streams;
+  t

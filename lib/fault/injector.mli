@@ -1,0 +1,60 @@
+(** Deterministic adversarial-event injector.
+
+    Attached to a fully-submitted {!Sa.System.t}, the injector schedules
+    chaos events through the ordinary simulation queue: forced processor
+    preemptions at random instants (including mid-critical-section,
+    stressing the Section 3.3 recovery protocol), spurious and delayed I/O
+    completions, transient device and buffer-cache errors, bursts of
+    high-priority kernel daemons, priority flaps, and transient address
+    spaces arriving and departing to churn the allocator.
+
+    Every random choice draws from a dedicated splitmix64 stream derived
+    from the attach seed, one independent stream per injector kind — the
+    injected schedule is a pure function of [(seed, kinds, config)], so a
+    violating run replays exactly from its printed seed.  Injection stops
+    by itself once every job has finished, so {!Sa.System.run}'s
+    completion predicate still terminates. *)
+
+module Time = Sa_engine.Time
+
+type kind =
+  | Preempt  (** forced processor preemptions + spurious I/O completions *)
+  | Io_faults  (** delayed/failed I/O completions, cache invalidations *)
+  | Daemon_storm  (** bursts of short-lived high-priority kernel threads *)
+  | Priority_flap  (** transient space-priority boosts *)
+  | Space_churn  (** transient address spaces arriving and departing *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type config = {
+  kinds : kind list;
+  preempt_gap_us : float;  (** mean gap between forced preemptions *)
+  spurious_prob : float;
+      (** chance a preemption tick also fires a spurious completion *)
+  io_fault_prob : float;  (** per-completion chance of an injected fault *)
+  io_delay : Time.span;  (** magnitude of an injected completion delay *)
+  cache_fault_prob : float;  (** per-hit chance of a cache invalidation *)
+  storm_gap_us : float;  (** mean gap between daemon storms *)
+  storm_size : int;  (** kernel threads per storm *)
+  storm_burst : Time.span;  (** compute burst of each storm thread *)
+  flap_gap_us : float;  (** mean gap between priority flaps *)
+  flap_hold : Time.span;  (** how long a boosted priority is held *)
+  churn_gap_us : float;  (** mean gap between space arrivals *)
+}
+
+val default : config
+(** Aggressive enough to preempt several times per millisecond of simulated
+    time and fault a noticeable fraction of I/O completions. *)
+
+type t
+
+val attach : ?config:config -> seed:int -> Sa.System.t -> t
+(** Install the configured injectors.  Call {b after} submitting every job:
+    the injector snapshots the job list to find target spaces and caches.
+    Hooks installed on the kernel and on each job's cache/device remain in
+    place for the system's lifetime. *)
+
+val injected : t -> (string * int) list
+(** Events injected so far, by kind name (for reports). *)

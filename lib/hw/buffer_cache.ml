@@ -17,6 +17,8 @@ type t = {
   mutable size : int;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable chaos_hook : (unit -> bool) option;
+  mutable chaos_invalidations : int;
 }
 
 let create ~capacity =
@@ -30,6 +32,8 @@ let create ~capacity =
     size = 0;
     hit_count = 0;
     miss_count = 0;
+    chaos_hook = None;
+    chaos_invalidations = 0;
   }
 
 let capacity t = t.cap
@@ -46,14 +50,30 @@ let push_front t n =
   (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
   t.head <- Some n
 
+let set_chaos_hook t hook = t.chaos_hook <- hook
+let chaos_invalidations t = t.chaos_invalidations
+
+(* Chaos: drop a resident block at the moment it is accessed, turning a
+   would-be hit into a transient miss.  The caller sees an ordinary [Miss]
+   and performs the fill I/O it already knows how to do. *)
+let chaos_drop t n =
+  match t.chaos_hook with
+  | Some hook when hook () ->
+      unlink t n;
+      Hashtbl.remove t.table n.block;
+      t.size <- t.size - 1;
+      t.chaos_invalidations <- t.chaos_invalidations + 1;
+      true
+  | _ -> false
+
 let access t block =
   match Hashtbl.find_opt t.table block with
-  | Some n ->
+  | Some n when not (chaos_drop t n) ->
       t.hit_count <- t.hit_count + 1;
       unlink t n;
       push_front t n;
       Hit
-  | None ->
+  | _ ->
       t.miss_count <- t.miss_count + 1;
       if Hashtbl.mem t.in_flight block then Miss_in_flight
       else begin

@@ -40,3 +40,13 @@ val hit_ratio : t -> float
 (** Hits over total accesses; 1.0 when no accesses yet. *)
 
 val reset_stats : t -> unit
+
+val set_chaos_hook : t -> (unit -> bool) option -> unit
+(** Install (or clear) a chaos hook, consulted on each access that would
+    hit.  When the hook returns [true] the resident block is invalidated on
+    the spot and the access reports an ordinary {!Miss}, forcing the caller
+    down its existing fill path.  Used by the fault injector to model
+    transient cache corruption. *)
+
+val chaos_invalidations : t -> int
+(** Hits converted to misses by the chaos hook. *)

@@ -18,12 +18,34 @@ type discipline =
       (** [channels] independent servers over one FIFO queue (a multi-queue
           NVMe-style device); [Fifo_queue] is [Channels 1] *)
 
+type fault =
+  | Fault_delay of Sa_engine.Time.span
+      (** the completion interrupt is late by this much *)
+  | Fault_transient_error
+      (** the transfer failed; the device re-services the request after an
+          exponential backoff (100 us doubling, capped at 10 ms) *)
+
 type t
 
 val create : Sa_engine.Sim.t -> discipline -> t
 
+val set_fault_hook : t -> (unit -> fault option) option -> unit
+(** Install (or clear) a fault hook, consulted once per nominal completion
+    instant.  Returning [Some f] injects fault [f] into that completion;
+    [None] lets it proceed.  Used by the chaos injector. *)
+
+val retries : t -> int
+(** Completions re-serviced after a transient error. *)
+
+val faults : t -> int
+(** Total faults injected (delays plus transient errors). *)
+
 val submit : t -> (unit -> unit) -> unit
-(** [submit t k] issues a request; [k ()] runs at completion time. *)
+(** [submit t k] issues a request; [k ()] runs at completion time.  When a
+    fault hook is installed, the hook is consulted at each nominal
+    completion instant and may delay or transiently fail the request; the
+    device retries with backoff, so every request still completes exactly
+    once. *)
 
 val in_flight : t -> int
 (** Requests submitted but not yet completed. *)

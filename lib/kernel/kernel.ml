@@ -38,7 +38,14 @@ type stats = {
   kt_dispatches : int;
   kt_timeslices : int;
   daemon_wakeups : int;
+  io_faults : int;
+  io_retries : int;
+  spurious_fired : int;
+  spurious_dropped : int;
+  chaos_preempts : int;
 }
+
+type io_fault = Io_delay of Time.span | Io_transient_error
 
 type kthread = {
   kt_id : int;
@@ -84,7 +91,7 @@ and space_kind = Kthreads of kt_space_state | Sa of sa_space_state
 and space = {
   sp_id : int;
   sp_name : string;
-  sp_prio : int;
+  mutable sp_prio : int;
   sp_kind : space_kind;
   mutable sp_desired : int;
   mutable sp_assigned : int;
@@ -147,6 +154,16 @@ and t = {
   mutable st_kt_dispatches : int;
   mutable st_kt_timeslices : int;
   mutable st_daemon_wakeups : int;
+  mutable st_io_faults : int;
+  mutable st_io_retries : int;
+  mutable st_spurious_fired : int;
+  mutable st_spurious_dropped : int;
+  mutable st_chaos_preempts : int;
+  mutable io_fault_hook : (unit -> io_fault option) option;
+  io_inflight : (int, unit -> unit) Hashtbl.t;
+      (* outstanding I/O completions by request id, each a guarded
+         fire-at-most-once closure; the chaos injector fires one early to
+         model a spurious completion interrupt *)
   debug_frozen : (int, Cpu.preempted option) Hashtbl.t;
       (* debugger-stopped activations (Section 4.4): frozen context per
          activation id, invisible to the user level *)
@@ -192,6 +209,73 @@ let upcall_tracef t fmt =
   Trace.emitf (Sim.trace t.sim) ~time:(Sim.now t.sim) Trace.Upcall fmt
 
 let defer t f = ignore (Sim.schedule_after t.sim ~delay:0 f)
+
+let set_io_fault_injector t hook = t.io_fault_hook <- hook
+let io_inflight_count t = Hashtbl.length t.io_inflight
+
+(* Retry backoff for transiently failed I/O completions: doubling from the
+   floor, capped so a fault streak cannot push a wakeup past the horizon. *)
+let io_backoff_floor = Time.us 200
+let io_backoff_cap = Time.ms 10
+
+(* Chaos-aware I/O completion.  The wake closure is guarded to fire at most
+   once: a spurious completion injected early absorbs the real completion
+   later (and vice versa) instead of waking the same thread twice, which
+   would trip the blocked-state checks downstream.  The fault hook is
+   consulted at each nominal completion instant; transient errors retry
+   with exponential backoff, delays just postpone the interrupt. *)
+let schedule_io_completion t ~io wake =
+  let id = fresh_id t in
+  let fired = ref false in
+  let fire () =
+    if !fired then t.st_spurious_dropped <- t.st_spurious_dropped + 1
+    else begin
+      fired := true;
+      Hashtbl.remove t.io_inflight id;
+      wake ()
+    end
+  in
+  Hashtbl.replace t.io_inflight id fire;
+  let rec attempt ~delay ~backoff =
+    ignore
+      (Sim.schedule_after t.sim ~delay (fun () ->
+           if !fired then t.st_spurious_dropped <- t.st_spurious_dropped + 1
+           else
+             let fault =
+               match t.io_fault_hook with None -> None | Some h -> h ()
+             in
+             match fault with
+             | None -> fire ()
+             | Some (Io_delay extra) ->
+                 t.st_io_faults <- t.st_io_faults + 1;
+                 attempt ~delay:extra ~backoff
+             | Some Io_transient_error ->
+                 t.st_io_faults <- t.st_io_faults + 1;
+                 t.st_io_retries <- t.st_io_retries + 1;
+                 attempt ~delay:backoff
+                   ~backoff:(min (backoff * 2) io_backoff_cap)))
+  in
+  attempt ~delay:io ~backoff:io_backoff_floor
+
+(* Fire an outstanding I/O completion early — a spurious completion
+   interrupt.  [pick] selects among the in-flight requests (sorted by id so
+   the choice depends only on the caller's seed).  Returns false if nothing
+   was in flight. *)
+let chaos_spurious_completion t ~pick =
+  let n = Hashtbl.length t.io_inflight in
+  if n = 0 then false
+  else begin
+    let keys =
+      List.sort compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.io_inflight [])
+    in
+    let id = List.nth keys (((pick mod n) + n) mod n) in
+    let fire = Hashtbl.find t.io_inflight id in
+    t.st_spurious_fired <- t.st_spurious_fired + 1;
+    tracef t "chaos: spurious completion of I/O request %d" id;
+    fire ();
+    true
+  end
 
 let upcall_cost t =
   if t.cfg.Kconfig.tuned_upcalls then t.costs.Cost_model.upcall
@@ -470,11 +554,10 @@ let ops_for t kt =
         kt.kt_state <- K_blocked;
         refresh_kt_desired t kt.kt_sp;
         t.st_io_blocks <- t.st_io_blocks + 1;
-        ignore
-          (Sim.schedule_after t.sim ~delay:span (fun () ->
-               kt.kt_pending_cost <-
-                 kt.kt_pending_cost + t.costs.Cost_model.kt_unblock;
-               make_ready t kt));
+        schedule_io_completion t ~io:span (fun () ->
+            kt.kt_pending_cost <-
+              kt.kt_pending_cost + t.costs.Cost_model.kt_unblock;
+            make_ready t kt);
         kt_cpu_released t slot);
     kt_block_on =
       (fun ~register k ->
@@ -743,7 +826,7 @@ let sa_block_common t act ~arrange_wakeup k =
 
 let sa_block_io t act ~io k =
   sa_block_common t act k ~arrange_wakeup:(fun wake ->
-      ignore (Sim.schedule_after t.sim ~delay:io wake))
+      schedule_io_completion t ~io wake)
 
 let sa_block_kernel t act ~register k =
   sa_block_common t act k ~arrange_wakeup:register
@@ -894,6 +977,52 @@ let preempt_slot_now t sp slot =
       slot.slot_kt <- None;
       slot.slot_owner <- None;
       set_assigned t sp (sp.sp_assigned - 1)
+
+(* Chaos: forcibly preempt whatever holds [cpu], exactly as the allocator
+   or a native wakeup interrupt would, at an adversarial instant.  Explicit
+   mode reclaims the processor from its owning space (the allocator then
+   re-runs and typically hands it back, exercising the full preempt/upcall/
+   regrant path, including mid-critical-section recovery); native mode
+   bounces the running kernel thread through the global run queue.
+   Returns false if the processor held nothing preemptible. *)
+let chaos_preempt t ~cpu =
+  if cpu < 0 || cpu >= ncpus t then invalid_arg "chaos_preempt: cpu";
+  let slot = slot_of_cpu t cpu in
+  match t.cfg.Kconfig.mode with
+  | Kconfig.Explicit_allocation -> (
+      match slot.slot_owner with
+      | Some sp ->
+          t.st_chaos_preempts <- t.st_chaos_preempts + 1;
+          tracef t "chaos: forced preemption of cpu%d from %s" cpu sp.sp_name;
+          preempt_slot_now t sp slot;
+          reevaluate t;
+          true
+      | None -> false)
+  | Kconfig.Native_oblivious -> (
+      match slot.slot_kt with
+      | Some kt ->
+          t.st_chaos_preempts <- t.st_chaos_preempts + 1;
+          t.st_preemptions <- t.st_preemptions + 1;
+          tracef t "chaos: forced preemption of cpu%d from kt%d (%s)" cpu
+            kt.kt_id kt.kt_name;
+          (match Cpu.preempt slot.slot_cpu with
+          | Some p -> save_kt_context t kt p
+          | None -> ());
+          cancel_quantum t slot;
+          slot.slot_kt <- None;
+          kt.kt_state <- K_ready;
+          runq_push t kt;
+          native_dispatch t slot;
+          true
+      | None -> false)
+
+let set_space_priority t sp prio =
+  if prio < 0 then invalid_arg "set_space_priority: negative priority";
+  if prio <> sp.sp_prio then begin
+    sp.sp_prio <- prio;
+    tracef t "%s priority set to %d" sp.sp_name prio;
+    if t.cfg.Kconfig.mode = Kconfig.Explicit_allocation then reevaluate t
+  end
 
 let warned_count t sp =
   Array.fold_left
@@ -1133,6 +1262,13 @@ let create sim machine costs cfg =
       st_kt_dispatches = 0;
       st_kt_timeslices = 0;
       st_daemon_wakeups = 0;
+      st_io_faults = 0;
+      st_io_retries = 0;
+      st_spurious_fired = 0;
+      st_spurious_dropped = 0;
+      st_chaos_preempts = 0;
+      io_fault_hook = None;
+      io_inflight = Hashtbl.create 32;
       debug_frozen = Hashtbl.create 8;
     }
   in
@@ -1153,6 +1289,11 @@ let stats t =
     kt_dispatches = t.st_kt_dispatches;
     kt_timeslices = t.st_kt_timeslices;
     daemon_wakeups = t.st_daemon_wakeups;
+    io_faults = t.st_io_faults;
+    io_retries = t.st_io_retries;
+    spurious_fired = t.st_spurious_fired;
+    spurious_dropped = t.st_spurious_dropped;
+    chaos_preempts = t.st_chaos_preempts;
   }
 
 let dump t ppf =
@@ -1285,4 +1426,64 @@ let check_invariants t =
           | A_running _ | A_blocked | A_stopped | A_free ->
               failwith "invariant: slot activation not running here")
       | None -> ())
-    t.slots
+    t.slots;
+  (* Activation census: the per-space counters must agree with the ground
+     truth in the activation table, and the recycle pool must hold only
+     free, distinct activations — a double-free or lost context shows up
+     here no matter which path corrupted it. *)
+  List.iter
+    (fun sp ->
+      match sp.sp_kind with
+      | Sa s ->
+          let running = ref 0 and blocked = ref 0 in
+          Hashtbl.iter
+            (fun _ act ->
+              if same_space act.act_sp sp then
+                match act.act_state with
+                | A_running _ -> incr running
+                | A_blocked -> incr blocked
+                | A_stopped | A_free -> ())
+            t.acts;
+          if !running <> s.running_acts then
+            failwith
+              (Printf.sprintf
+                 "invariant: %s census finds %d running activations, \
+                  counter says %d"
+                 sp.sp_name !running s.running_acts);
+          if !blocked <> s.blocked_acts then
+            failwith
+              (Printf.sprintf
+                 "invariant: %s census finds %d blocked activations, \
+                  counter says %d"
+                 sp.sp_name !blocked s.blocked_acts);
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (fun act ->
+              (match act.act_state with
+              | A_free -> ()
+              | A_running _ | A_blocked | A_stopped ->
+                  failwith
+                    (Printf.sprintf "invariant: pooled act%d is not free"
+                       act.act_id));
+              if Hashtbl.mem seen act.act_id then
+                failwith
+                  (Printf.sprintf "invariant: act%d pooled twice" act.act_id);
+              Hashtbl.replace seen act.act_id ())
+            s.pool
+      | Kthreads _ -> ())
+    t.spaces;
+  (* Every running activation must sit on the slot it claims. *)
+  Hashtbl.iter
+    (fun _ act ->
+      match act.act_state with
+      | A_running cpu_id -> (
+          let slot = slot_of_cpu t cpu_id in
+          match slot.slot_act with
+          | Some a when a.act_id = act.act_id -> ()
+          | Some _ | None ->
+              failwith
+                (Printf.sprintf
+                   "invariant: act%d claims cpu%d but the slot disagrees"
+                   act.act_id cpu_id))
+      | A_blocked | A_stopped | A_free -> ())
+    t.acts

@@ -186,6 +186,11 @@ type stats = {
   kt_dispatches : int;
   kt_timeslices : int;  (** quantum-expiry preemptions (native mode) *)
   daemon_wakeups : int;
+  io_faults : int;  (** injected I/O faults (delays + transient errors) *)
+  io_retries : int;  (** completions re-attempted after a transient error *)
+  spurious_fired : int;  (** spurious completion interrupts injected *)
+  spurious_dropped : int;  (** duplicate completions absorbed by the guard *)
+  chaos_preempts : int;  (** forced preemptions via {!chaos_preempt} *)
 }
 
 val stats : t -> stats
@@ -194,7 +199,52 @@ val space_upcalls : space -> int
 val check_invariants : t -> unit
 (** Raises [Failure] if a kernel invariant is violated, most importantly
     Section 3.1's: for every scheduler-activation address space, the number
-    of running activations equals the number of processors assigned to it. *)
+    of running activations equals the number of processors assigned to it.
+    Also audits the activation table against the per-space running/blocked
+    counters, the recycle pool (free and distinct entries only), and the
+    slot table (every running activation sits on the slot it claims) — the
+    checks the chaos campaigns lean on to catch lost or double-resumed
+    contexts. *)
+
+(** {1 Fault injection (chaos testing)}
+
+    These entry points let a deterministic fault injector drive the kernel
+    through adversarial schedules.  They are ordinary simulation events:
+    calling them from anywhere other than the event loop is unsupported. *)
+
+type io_fault =
+  | Io_delay of Time.span  (** the completion interrupt arrives late *)
+  | Io_transient_error
+      (** the operation fails; the kernel retries with exponential backoff
+          (200 us doubling, capped at 10 ms) *)
+
+val set_io_fault_injector : t -> (unit -> io_fault option) option -> unit
+(** Install (or clear) a hook consulted at each nominal I/O completion
+    instant ({!sa_block_io} and [kt_block_for] wakeups).  Returning
+    [Some f] injects fault [f]; [None] lets the completion proceed.  Every
+    blocked thread still wakes exactly once. *)
+
+val io_inflight_count : t -> int
+(** Timed I/O completions currently outstanding. *)
+
+val chaos_spurious_completion : t -> pick:int -> bool
+(** Fire one outstanding I/O completion early — a spurious completion
+    interrupt.  The guarded wakeup absorbs the real completion when it
+    later arrives, so the blocked thread wakes exactly once (early).
+    [pick] indexes the in-flight requests sorted by id, keeping the choice
+    a pure function of the caller's seed.  [false] if nothing in flight. *)
+
+val chaos_preempt : t -> cpu:int -> bool
+(** Forcibly preempt whatever holds [cpu] at this instant — mid-upcall,
+    mid-critical-section, wherever the event landed.  Explicit mode
+    reclaims the processor from its owning space through the standard
+    preemption path (upcall events, Section 3.3 recovery) and re-runs the
+    allocator; native mode bounces the running kernel thread through the
+    global run queue.  [false] if the processor held nothing preemptible. *)
+
+val set_space_priority : t -> space -> int -> unit
+(** Change a space's allocation priority (higher wins).  In explicit mode
+    the allocator re-runs; used by the chaos injector to flap priorities. *)
 
 val free_cpus : t -> int
 (** Processors currently owned by no space (explicit mode). *)

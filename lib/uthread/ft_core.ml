@@ -164,6 +164,12 @@ let threads_in s st =
     (fun _ tcb acc -> if tcb.tstate = st then tcb :: acc else acc)
     s.threads []
 
+let io_device s = s.io_dev
+
+let queued_tids s =
+  Array.to_list s.queues
+  |> List.concat_map (fun dq -> List.map (fun t -> t.tid) (Deque.to_list dq))
+
 (* ------------------------------------------------------------------ *)
 (* Sync-object tables                                                  *)
 (* ------------------------------------------------------------------ *)

@@ -88,6 +88,14 @@ val state_counts : state -> (tstate * int) list
 
 val threads_in : state -> tstate -> tcb list
 
+val io_device : state -> Sa_hw.Io_device.t option
+(** The device servicing this state's cache misses, if one was attached. *)
+
+val queued_tids : state -> int list
+(** Thread ids currently sitting in the ready deques, in queue order.
+    Every entry should be a [Ready] thread and appear at most once — the
+    invariant the chaos campaigns audit against {!state_counts}. *)
+
 (** Substrate capabilities injected by {!Ft_kt} / {!Ft_sa}. *)
 type driver = {
   costs : Cost_model.t;

@@ -393,10 +393,24 @@ let sim_tests =
         check Alcotest.int "two" 2 (Sim.pending sim);
         Sim.cancel sim h;
         check Alcotest.int "one" 1 (Sim.pending sim));
-    Alcotest.test_case "stall raises" `Quick (fun () ->
+    Alcotest.test_case "stall raises with diagnostics" `Quick (fun () ->
         let sim = Sim.create () in
-        Alcotest.check_raises "stalled" (Sim.Stalled "dead") (fun () ->
-            Sim.stall sim "dead"));
+        ignore (Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> ()));
+        match Sim.stall sim "dead" with
+        | _ -> Alcotest.fail "expected Stalled"
+        | exception Sim.Stalled msg ->
+            let has needle =
+              let nh = String.length msg and nn = String.length needle in
+              let rec go i =
+                i + nn <= nh && (String.sub msg i nn = needle || go (i + 1))
+              in
+              go 0
+            in
+            check Alcotest.bool "carries reason" true (has "dead");
+            check Alcotest.bool "carries clock" true (has "clock=");
+            check Alcotest.bool "carries pending count" true (has "pending=1");
+            check Alcotest.bool "carries same-instant counter" true
+              (has "same-instant="));
     Alcotest.test_case "zero-delay event loops are detected as livelock"
       `Quick (fun () ->
         let sim = Sim.create () in
@@ -418,6 +432,92 @@ let sim_tests =
         done;
         Sim.run sim;
         check Alcotest.int "processed" 5 (Time.to_ns (Sim.now sim)));
+    Alcotest.test_case "cancel is idempotent" `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired = ref 0 in
+        let h = Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> incr fired) in
+        Sim.cancel sim h;
+        Sim.cancel sim h;
+        (* cancelling after the queue drained is also harmless *)
+        Sim.run sim;
+        Sim.cancel sim h;
+        check Alcotest.int "never fired" 0 !fired;
+        check Alcotest.int "queue empty" 0 (Sim.pending sim));
+    Alcotest.test_case "cancel after firing is harmless" `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired = ref 0 in
+        let h = Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> incr fired) in
+        Sim.run sim;
+        Sim.cancel sim h;
+        check Alcotest.int "fired once" 1 !fired);
+    Alcotest.test_case "zero-delay events run after queued same-instant peers"
+      `Quick (fun () ->
+        let sim = Sim.create () in
+        let log = ref [] in
+        ignore
+          (Sim.schedule sim ~at:(Time.of_ns 10) (fun () ->
+               (* scheduled first, from inside the earliest event... *)
+               ignore
+                 (Sim.schedule_after sim ~delay:0 (fun () ->
+                      log := "zero" :: !log))));
+        ignore
+          (Sim.schedule sim ~at:(Time.of_ns 10) (fun () ->
+               log := "peer" :: !log));
+        Sim.run sim;
+        (* ...but the pre-queued peer at the same instant still runs first *)
+        check
+          (Alcotest.list Alcotest.string)
+          "fifo within instant" [ "peer"; "zero" ] (List.rev !log);
+        check Alcotest.int "clock stayed" 10 (Time.to_ns (Sim.now sim)));
+    Alcotest.test_case "same-instant counter trips exactly at the limit"
+      `Quick (fun () ->
+        let trip limit chain =
+          let sim = Sim.create () in
+          Sim.set_same_instant_limit sim limit;
+          let n = ref 0 in
+          let rec spin () =
+            incr n;
+            if !n < chain then ignore (Sim.schedule_after sim ~delay:0 spin)
+          in
+          ignore (Sim.schedule_after sim ~delay:0 spin);
+          match Sim.run sim with
+          | () -> false
+          | exception Sim.Stalled _ -> true
+        in
+        (* [limit] events at one instant are fine; one more trips *)
+        check Alcotest.bool "at limit ok" false (trip 50 50);
+        check Alcotest.bool "past limit trips" true (trip 50 52);
+        Alcotest.check_raises "zero limit rejected"
+          (Invalid_argument "Sim.set_same_instant_limit") (fun () ->
+            Sim.set_same_instant_limit (Sim.create ()) 0));
+    Alcotest.test_case "same_instant_count resets when the clock moves" `Quick
+      (fun () ->
+        let sim = Sim.create () in
+        for _ = 1 to 3 do
+          ignore (Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> ()))
+        done;
+        ignore (Sim.schedule sim ~at:(Time.of_ns 9) (fun () -> ()));
+        ignore (Sim.step sim);
+        ignore (Sim.step sim);
+        ignore (Sim.step sim);
+        check Alcotest.int "two same-instant events" 2
+          (Sim.same_instant_count sim);
+        ignore (Sim.step sim);
+        check Alcotest.int "reset on advance" 0 (Sim.same_instant_count sim));
+    Alcotest.test_case "run_while terminates on false predicate and empty queue"
+      `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired = ref false in
+        ignore (Sim.schedule sim ~at:(Time.of_ns 5) (fun () -> fired := true));
+        (* predicate false from the start: nothing runs *)
+        Sim.run_while sim (fun () -> false);
+        check Alcotest.bool "not fired" false !fired;
+        (* true predicate: drains the queue then stops *)
+        Sim.run_while sim (fun () -> true);
+        check Alcotest.bool "fired" true !fired;
+        check Alcotest.int "queue empty" 0 (Sim.pending sim);
+        (* empty queue: returns immediately even with a true predicate *)
+        Sim.run_while sim (fun () -> true));
   ]
 
 let () =
