@@ -6,117 +6,281 @@
       evaluation section (Tables 1/4/5, Figures 1/2, the Section 5.2 upcall
       measurements) plus the design-choice ablations, printing measured
       values next to the published ones.  These run in simulated time and
-      are deterministic.
+      are deterministic.  With --json the same results are emitted as one
+      JSON object on stdout (machine-readable, for recording BENCH_*.json
+      trajectories across commits).
 
    2. Bechamel wall-clock micro-benchmarks: one Test.make per paper table /
       figure (measuring the cost of regenerating it) and a group for the
       simulator's own hot paths (event queue, processor segments, octree
-      build, buffer cache).
+      build, buffer cache).  These are wall-clock measurements and stay
+      text-only.
 
    Usage:
      bench/main.exe                 run the full paper harness (default)
      bench/main.exe table1 figure2  run selected experiments
      bench/main.exe micro           run the Bechamel micro-benchmarks
-     bench/main.exe all             paper harness + micro-benchmarks *)
+     bench/main.exe all             paper harness + micro-benchmarks
+     bench/main.exe --json [NAMES]  paper harness (or NAMES) as JSON *)
 
 module E = Sa_metrics.Experiments
 module R = Sa_metrics.Report
 module Nbody = Sa_workload.Nbody
 
-let run_table1 () = R.print_latency_table ~title:"Table 1: Thread Operation Latencies (usec)" (E.table1 ())
+(* ------------------------------------------------------------------ *)
+(* Paper experiments as typed results                                  *)
+(* ------------------------------------------------------------------ *)
 
-let run_table4 () =
-  R.print_latency_table
-    ~title:"Table 4: Thread Operation Latencies (usec), with Scheduler Activations"
-    (E.table4 ())
+type result =
+  | Latency of E.latency_row list
+  | Speedup of E.speedup_series list
+  | Exec_time of E.exec_time_series list
+  | Multiprog of E.multiprog_row list
+  | Upcalls of E.upcall_row list
+  | Ablation of E.ablation_row list
+  | Server of E.server_row list
 
-let run_figure1 () =
-  R.print_speedup_series
-    ~title:
-      "Figure 1: Speedup of N-Body Application vs. Number of Processors, 100% \
-       of Memory Available"
-    (E.figure1 ())
-
-let run_figure2 () =
-  R.print_exec_time_series
-    ~title:
-      "Figure 2: Execution Time of N-Body Application vs. Amount of Available \
-       Memory, 6 Processors"
-    (E.figure2 ())
-
-let run_table5 () =
-  R.print_multiprog
-    ~title:
-      "Table 5: Speedup for N-Body Application, Multiprogramming Level = 2, 6 \
-       Processors, 100% of Memory Available"
-    (E.table5 ())
-
-let run_upcall () =
-  R.print_upcalls
-    ~title:"Section 5.2: Upcall Performance (Signal-Wait through the kernel)"
-    (E.upcall_performance ())
-
-let run_ablation_critical () =
-  R.print_ablation
-    ~title:
+let experiments : (string * string * (unit -> result)) list =
+  [
+    ( "table1",
+      "Table 1: Thread Operation Latencies (usec)",
+      fun () -> Latency (E.table1 ()) );
+    ( "table4",
+      "Table 4: Thread Operation Latencies (usec), with Scheduler Activations",
+      fun () -> Latency (E.table4 ()) );
+    ( "figure1",
+      "Figure 1: Speedup of N-Body Application vs. Number of Processors, \
+       100% of Memory Available",
+      fun () -> Speedup (E.figure1 ()) );
+    ( "figure2",
+      "Figure 2: Execution Time of N-Body Application vs. Amount of \
+       Available Memory, 6 Processors",
+      fun () -> Exec_time (E.figure2 ()) );
+    ( "table5",
+      "Table 5: Speedup for N-Body Application, Multiprogramming Level = 2, \
+       6 Processors, 100% of Memory Available",
+      fun () -> Multiprog (E.table5 ()) );
+    ( "upcall",
+      "Section 5.2: Upcall Performance (Signal-Wait through the kernel)",
+      fun () -> Upcalls (E.upcall_performance ()) );
+    ( "ablation-critical",
       "Ablation (S5.1/S4.3): critical-section marking strategy, latency \
-       impact"
-    (E.ablation_critical_sections ())
-
-let run_ablation_hysteresis () =
-  R.print_ablation
-    ~title:"Ablation (S4.2): idle-processor hysteresis before reallocation"
-    (E.ablation_hysteresis ~spins_ms:[ 0; 1; 5; 20 ] ())
-
-let run_ablation_pool () =
-  R.print_ablation
-    ~title:"Ablation (S4.3): discarded-scheduler-activation recycling"
-    (E.ablation_activation_pooling ())
-
-let run_disk_contention () =
-  R.print_exec_time_series
-    ~title:
-      "Ablation (S5.3): Figure 2 with a queued disk (contention) instead of \
-       the fixed 50 ms block"
-    (E.figure2_disk_contention ())
-
-let run_fairness () =
-  R.print_ablation
-    ~title:"Ablation (S4.1): allocator fairness in processor-seconds"
-    (E.allocator_fairness ())
-
-let run_space_priority () =
-  R.print_ablation
-    ~title:"Ablation (S4.1): address-space priorities in the allocator"
-    (E.space_priority ())
-
-let run_server () =
-  R.print_server
-    ~title:
-      "Extension: open-arrival server response times (4 CPUs, 200 requests, \
-       80% do 20 ms I/O)"
-    (E.server_latency ())
-
-let run_warning () =
-  R.print_ablation
-    ~title:
-      "Related-work comparison (S6): immediate stop-and-upcall vs the \
-       Psyche/Symunix warning protocol (high-priority grant latency)"
-    (E.preemption_protocol ())
-
-let run_retrospective () =
-  R.print_ablation
-    ~title:
-      "Retrospective: the same systems under 2020s costs (ns-scale user \
-       ops, us-scale kernel ops, NVMe I/O) and 1000x finer-grained tasks"
-    (E.modern_retrospective ())
-
-let run_ablation_rotation () =
-  R.print_ablation
-    ~title:
+       impact",
+      fun () -> Ablation (E.ablation_critical_sections ()) );
+    ( "ablation-hysteresis",
+      "Ablation (S4.2): idle-processor hysteresis before reallocation",
+      fun () -> Ablation (E.ablation_hysteresis ~spins_ms:[ 0; 1; 5; 20 ] ())
+    );
+    ( "ablation-pool",
+      "Ablation (S4.3): discarded-scheduler-activation recycling",
+      fun () -> Ablation (E.ablation_activation_pooling ()) );
+    ( "ablation-rotation",
       "Ablation (S4.1): time-slicing the remainder processor between equal \
-       jobs (5 CPUs, 2 jobs)"
-    (E.ablation_remainder_rotation ())
+       jobs (5 CPUs, 2 jobs)",
+      fun () -> Ablation (E.ablation_remainder_rotation ()) );
+    ( "ablation-disk",
+      "Ablation (S5.3): Figure 2 with a queued disk (contention) instead of \
+       the fixed 50 ms block",
+      fun () -> Exec_time (E.figure2_disk_contention ()) );
+    ( "server",
+      "Extension: open-arrival server response times (4 CPUs, 200 requests, \
+       80% do 20 ms I/O)",
+      fun () -> Server (E.server_latency ()) );
+    ( "ablation-warning",
+      "Related-work comparison (S6): immediate stop-and-upcall vs the \
+       Psyche/Symunix warning protocol (high-priority grant latency)",
+      fun () -> Ablation (E.preemption_protocol ()) );
+    ( "retrospective",
+      "Retrospective: the same systems under 2020s costs (ns-scale user \
+       ops, us-scale kernel ops, NVMe I/O) and 1000x finer-grained tasks",
+      fun () -> Ablation (E.modern_retrospective ()) );
+    ( "ablation-fairness",
+      "Ablation (S4.1): allocator fairness in processor-seconds",
+      fun () -> Ablation (E.allocator_fairness ()) );
+    ( "ablation-priority",
+      "Ablation (S4.1): address-space priorities in the allocator",
+      fun () -> Ablation (E.space_priority ()) );
+  ]
+
+let print_result ~title = function
+  | Latency rows -> R.print_latency_table ~title rows
+  | Speedup series -> R.print_speedup_series ~title series
+  | Exec_time series -> R.print_exec_time_series ~title series
+  | Multiprog rows -> R.print_multiprog ~title rows
+  | Upcalls rows -> R.print_upcalls ~title rows
+  | Ablation rows -> R.print_ablation ~title rows
+  | Server rows -> R.print_server ~title rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding (hand-rolled: the vocabulary is a handful of rows)    *)
+(* ------------------------------------------------------------------ *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf v =
+  if Float.is_nan v || Float.abs v = Float.infinity then
+    Buffer.add_string buf "null"
+  else Buffer.add_string buf (Printf.sprintf "%.6g" v)
+
+let add_float_opt buf = function
+  | None -> Buffer.add_string buf "null"
+  | Some v -> add_float buf v
+
+let add_fields buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, add_v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_v buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let add_list buf add_item items =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_item buf item)
+    items;
+  Buffer.add_char buf ']'
+
+let add_result buf result =
+  let str s buf = add_json_string buf s in
+  let fl v buf = add_float buf v in
+  let fl_opt v buf = add_float_opt buf v in
+  let int n buf = Buffer.add_string buf (string_of_int n) in
+  match result with
+  | Latency rows ->
+      add_list buf
+        (fun buf (r : E.latency_row) ->
+          add_fields buf
+            [
+              ("system", str r.system);
+              ("null_fork_us", fl r.null_fork_us);
+              ("signal_wait_us", fl r.signal_wait_us);
+              ("paper_null_fork", fl_opt r.paper_null_fork);
+              ("paper_signal_wait", fl_opt r.paper_signal_wait);
+            ])
+        rows
+  | Speedup series ->
+      add_list buf
+        (fun buf (s : E.speedup_series) ->
+          add_fields buf
+            [
+              ("series", str s.series);
+              ( "points",
+                fun buf ->
+                  add_list buf
+                    (fun buf (p : E.speedup_point) ->
+                      add_fields buf
+                        [
+                          ("processors", int p.processors);
+                          ("speedup", fl p.speedup);
+                        ])
+                    s.points );
+            ])
+        series
+  | Exec_time series ->
+      add_list buf
+        (fun buf (s : E.exec_time_series) ->
+          add_fields buf
+            [
+              ("series", str s.io_series);
+              ( "points",
+                fun buf ->
+                  add_list buf
+                    (fun buf (p : E.exec_time_point) ->
+                      add_fields buf
+                        [
+                          ("memory_percent", int p.memory_percent);
+                          ("exec_time_s", fl p.exec_time_s);
+                        ])
+                    s.io_points );
+            ])
+        series
+  | Multiprog rows ->
+      add_list buf
+        (fun buf (r : E.multiprog_row) ->
+          add_fields buf
+            [
+              ("system", str r.mp_system);
+              ("speedup", fl r.mp_speedup);
+              ("paper", fl_opt r.mp_paper);
+            ])
+        rows
+  | Upcalls rows ->
+      add_list buf
+        (fun buf (r : E.upcall_row) ->
+          add_fields buf
+            [
+              ("config", str r.u_config);
+              ("signal_wait_us", fl r.u_signal_wait_us);
+              ("paper", fl_opt r.u_paper);
+            ])
+        rows
+  | Ablation rows ->
+      add_list buf
+        (fun buf (r : E.ablation_row) ->
+          add_fields buf
+            [
+              ("label", str r.a_label);
+              ("value", fl r.a_value);
+              ("unit", str r.a_unit);
+            ])
+        rows
+  | Server rows ->
+      add_list buf
+        (fun buf (r : E.server_row) ->
+          add_fields buf
+            [
+              ("system", str r.s_system);
+              ("mean_us", fl r.s_mean_us);
+              ("p95_us", fl r.s_p95_us);
+              ("p99_us", fl r.s_p99_us);
+            ])
+        rows
+
+let result_kind = function
+  | Latency _ -> "latency"
+  | Speedup _ -> "speedup"
+  | Exec_time _ -> "exec-time"
+  | Multiprog _ -> "multiprog"
+  | Upcalls _ -> "upcalls"
+  | Ablation _ -> "ablation"
+  | Server _ -> "server"
+
+let print_json selected =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (name, title, run) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let result = run () in
+      add_json_string buf name;
+      Buffer.add_char buf ':';
+      add_fields buf
+        [
+          ("kind", fun buf -> add_json_string buf (result_kind result));
+          ("title", fun buf -> add_json_string buf title);
+          ("data", fun buf -> add_result buf result);
+        ])
+    selected;
+  Buffer.add_string buf "\n}\n";
+  print_string (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (wall clock)                              *)
@@ -233,47 +397,54 @@ let run_micro () =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let experiments =
-  [
-    ("table1", run_table1);
-    ("table4", run_table4);
-    ("figure1", run_figure1);
-    ("figure2", run_figure2);
-    ("table5", run_table5);
-    ("upcall", run_upcall);
-    ("ablation-critical", run_ablation_critical);
-    ("ablation-hysteresis", run_ablation_hysteresis);
-    ("ablation-pool", run_ablation_pool);
-    ("ablation-rotation", run_ablation_rotation);
-    ("ablation-disk", run_disk_contention);
-    ("server", run_server);
-    ("ablation-warning", run_warning);
-    ("retrospective", run_retrospective);
-    ("ablation-fairness", run_fairness);
-    ("ablation-priority", run_space_priority);
-  ]
+let run_paper () =
+  List.iter (fun (_, title, run) -> print_result ~title (run ())) experiments
 
-let run_paper () = List.iter (fun (_, f) -> f ()) experiments
+let find_experiment name =
+  List.find_opt (fun (n, _, _) -> n = name) experiments
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> run_paper ()
-  | _ :: args ->
-      List.iter
-        (fun a ->
-          match a with
-          | "all" ->
-              run_paper ();
-              run_micro ()
-          | "paper" -> run_paper ()
-          | "micro" -> run_micro ()
-          | name -> (
-              match List.assoc_opt name experiments with
-              | Some f -> f ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  if json then begin
+    let selected =
+      match args with
+      | [] | [ "paper" ] | [ "all" ] -> experiments
+      | names ->
+          List.map
+            (fun name ->
+              match find_experiment name with
+              | Some e -> e
               | None ->
-                  Printf.eprintf
-                    "unknown experiment %S; known: %s, paper, micro, all\n" name
-                    (String.concat ", " (List.map fst experiments));
-                  exit 2))
-        args
-  | [] -> run_paper ()
+                  Printf.eprintf "unknown experiment %S; known: %s\n" name
+                    (String.concat ", "
+                       (List.map (fun (n, _, _) -> n) experiments));
+                  exit 2)
+            names
+    in
+    print_json selected
+  end
+  else
+    match args with
+    | [] -> run_paper ()
+    | args ->
+        List.iter
+          (fun a ->
+            match a with
+            | "all" ->
+                run_paper ();
+                run_micro ()
+            | "paper" -> run_paper ()
+            | "micro" -> run_micro ()
+            | name -> (
+                match find_experiment name with
+                | Some (_, title, run) -> print_result ~title (run ())
+                | None ->
+                    Printf.eprintf
+                      "unknown experiment %S; known: %s, paper, micro, all\n"
+                      name
+                      (String.concat ", "
+                         (List.map (fun (n, _, _) -> n) experiments));
+                    exit 2))
+          args

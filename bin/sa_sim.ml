@@ -10,6 +10,7 @@
 module Time = Sa_engine.Time
 module Sim = Sa_engine.Sim
 module Trace = Sa_engine.Trace
+module Trace_export = Sa_engine.Trace_export
 module Kconfig = Sa_kernel.Kconfig
 module Kernel = Sa_kernel.Kernel
 module System = Sa.System
@@ -373,32 +374,88 @@ let report_cmd =
 let trace_cmd =
   let millis =
     Arg.(
-      value & opt int 30
-      & info [ "for" ] ~docv:"MS" ~doc:"Simulated milliseconds to trace.")
+      value & opt int 0
+      & info [ "for" ] ~docv:"MS"
+          ~doc:
+            "Simulated milliseconds to trace.  0 (the default) traces until \
+             the workload finishes.")
   in
-  let action backend cpus millis =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("chrome", `Chrome) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,text) (one line per record) or $(b,chrome) \
+             (Chrome trace-event JSON, loadable in Perfetto or \
+             chrome://tracing).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let action backend cpus millis format out =
     let sys = System.create ~cpus ~kconfig:(kconfig_of backend) () in
     let tr = Sim.trace (System.sim sys) in
-    Trace.set_live tr (Some Format.std_formatter);
+    (* The stream is written as records are emitted, so the export is not
+       bounded by the trace ring's capacity. *)
+    let finish =
+      match format with
+      | `Text -> (
+          match out with
+          | None ->
+              Trace.set_live tr (Some Format.std_formatter);
+              fun () -> ()
+          | Some file ->
+              let oc = open_out file in
+              let ppf = Format.formatter_of_out_channel oc in
+              Trace.set_live tr (Some ppf);
+              fun () ->
+                Format.pp_print_flush ppf ();
+                close_out oc)
+      | `Chrome ->
+          let oc, close_oc =
+            match out with
+            | None -> (stdout, fun () -> ())
+            | Some file ->
+                let oc = open_out file in
+                (oc, fun () -> close_out oc)
+          in
+          let w = Trace_export.create ~out:(output_string oc) in
+          Trace.add_sink tr (Trace_export.feed w);
+          fun () ->
+            Trace_export.close w;
+            flush oc;
+            close_oc ()
+    in
     let params = { Nbody.default_params with Nbody.n_bodies = 40; steps = 2 } in
     let prep = Nbody.prepare params in
-    let _job =
+    let job =
       System.submit sys
         ~backend:(system_backend cpus backend)
         ~name:"traced"
         ~cache_capacity:(Nbody.cache_capacity prep ~percent:60)
         prep.Nbody.program
     in
-    Sim.run
-      ~until:(Time.add (Sim.now (System.sim sys)) (Time.ms millis))
-      (System.sim sys)
+    if millis <= 0 then
+      Sim.run_while (System.sim sys) (fun () -> not (System.finished job))
+    else
+      Sim.run
+        ~until:(Time.add (Sim.now (System.sim sys)) (Time.ms millis))
+        (System.sim sys);
+    finish ()
   in
-  let term = Term.(const action $ backend_arg $ cpus_arg $ millis) in
+  let term =
+    Term.(const action $ backend_arg $ cpus_arg $ millis $ format_arg $ out_arg)
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run a small N-body workload with the kernel and upcall trace \
-          streamed to stdout.")
+          streamed to stdout (text) or exported as Chrome trace JSON.")
     term
 
 (* ------------------------------------------------------------------ *)

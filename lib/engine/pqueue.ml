@@ -5,13 +5,19 @@ type 'a entry = {
   mutable state : [ `Live | `Cancelled | `Popped ];
 }
 
-type 'a t = { mutable heap : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable dead : int;
+      (* cancelled entries still occupying heap slots; live count is
+         [size - dead] *)
+}
 
 (* The heap array holds a dummy sentinel in unused slots via Obj-free
    trickery: we instead keep the array dense in [0, size) and grow by
    doubling, so no sentinel is needed beyond the initial empty array. *)
 
-let create () = { heap = [||]; size = 0 }
+let create () = { heap = [||]; size = 0; dead = 0 }
 
 let prio_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
@@ -52,6 +58,29 @@ let rec sift_down q i =
     sift_down q !smallest
   end
 
+(* Rebuild the heap with only live entries (Floyd heapify, O(size)).
+   Cancelled entries deep in the heap otherwise stay until they drift to
+   the root, so a run that cancels most of its timers would grow the array
+   without bound. *)
+let compact q =
+  let w = ref 0 in
+  for r = 0 to q.size - 1 do
+    let e = q.heap.(r) in
+    if e.state = `Live then begin
+      q.heap.(!w) <- e;
+      incr w
+    end
+  done;
+  q.size <- !w;
+  q.dead <- 0;
+  for i = (q.size / 2) - 1 downto 0 do
+    sift_down q i
+  done
+
+(* Compaction threshold: amortized O(1) per cancellation — only when dead
+   entries dominate and there are enough of them to pay for the rebuild. *)
+let maybe_compact q = if q.dead > 64 && q.dead * 2 > q.size then compact q
+
 let add q ~key ~seq value =
   let e = { key; seq; value; state = `Live } in
   if q.size = Array.length q.heap then
@@ -68,6 +97,7 @@ let pop_root q =
     q.heap.(0) <- q.heap.(q.size);
     sift_down q 0
   end;
+  if e.state <> `Live then q.dead <- q.dead - 1;
   e
 
 (* Discard cancelled entries sitting at the root. *)
@@ -81,12 +111,8 @@ let is_empty q =
   drain_dead q;
   q.size = 0
 
-let length q =
-  let n = ref 0 in
-  for i = 0 to q.size - 1 do
-    if q.heap.(i).state = `Live then incr n
-  done;
-  !n
+let length q = q.size - q.dead
+let heap_size q = q.size
 
 let pop q =
   drain_dead q;
@@ -101,7 +127,13 @@ let peek_key q =
   drain_dead q;
   if q.size = 0 then None else Some (q.heap.(0).key, q.heap.(0).seq)
 
-let remove _q e = if e.state = `Live then e.state <- `Cancelled
+let remove q e =
+  if e.state = `Live then begin
+    e.state <- `Cancelled;
+    q.dead <- q.dead + 1;
+    maybe_compact q
+  end
+
 let entry_live e = e.state = `Live
 
 let to_list q =

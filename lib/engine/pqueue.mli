@@ -3,8 +3,10 @@
     The queue stores elements with integer-pair priorities [(key, seq)]
     compared lexicographically; the discrete-event simulator uses [key] for
     the firing time and [seq] for FIFO order among simultaneous events.
-    [remove] marks an entry cancelled in O(1); cancelled entries are skipped
-    lazily by [pop]. *)
+    [remove] marks an entry cancelled in amortized O(1); cancelled entries
+    are skipped lazily by [pop], and the heap is compacted (live entries
+    rebuilt in place, O(n)) once dead entries dominate, so a workload that
+    cancels most of its timers cannot grow the heap without bound. *)
 
 type 'a t
 
@@ -18,7 +20,11 @@ val is_empty : 'a t -> bool
     May internally discard dead entries at the root. *)
 
 val length : 'a t -> int
-(** Number of live entries. *)
+(** Number of live entries.  O(1). *)
+
+val heap_size : 'a t -> int
+(** Heap slots currently occupied, live or cancelled (for tests asserting
+    compaction bounds). *)
 
 val add : 'a t -> key:int -> seq:int -> 'a -> 'a entry
 (** [add q ~key ~seq v] inserts [v] with priority [(key, seq)]. *)

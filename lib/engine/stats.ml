@@ -24,8 +24,10 @@ module Summary = struct
   let mean t = if t.n = 0 then 0.0 else t.mean
   let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
-  let min t = t.mn
-  let max t = t.mx
+  (* Empty summaries report 0.0, consistently with [mean] — the raw
+     sentinels (infinity / neg_infinity) otherwise leak into reports. *)
+  let min t = if t.n = 0 then 0.0 else t.mn
+  let max t = if t.n = 0 then 0.0 else t.mx
   let total t = t.total
 
   let merge a b =
@@ -51,7 +53,7 @@ module Summary = struct
 
   let pp ppf t =
     Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
-      (stddev t) t.mn t.mx
+      (stddev t) (min t) (max t)
 end
 
 module Samples = struct
@@ -85,7 +87,7 @@ module Samples = struct
     if t.n = 0 then invalid_arg "Samples.percentile: empty";
     if p < 0.0 || p > 100.0 then invalid_arg "Samples.percentile: range";
     let sorted = Array.sub t.data 0 t.n in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let rank = p /. 100.0 *. float_of_int (t.n - 1) in
     let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
     if lo = hi then sorted.(lo)

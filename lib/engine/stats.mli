@@ -16,10 +16,10 @@ module Summary : sig
 
   val stddev : t -> float
   val min : t -> float
-  (** [infinity] when empty. *)
+  (** 0.0 when empty, consistently with [mean]. *)
 
   val max : t -> float
-  (** [neg_infinity] when empty. *)
+  (** 0.0 when empty, consistently with [mean]. *)
 
   val total : t -> float
   val merge : t -> t -> t

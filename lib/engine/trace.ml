@@ -16,7 +16,22 @@ let category_index = function
   | Uthread -> 4
   | Workload -> 5
 
-type record = { time : Time.t; category : category; message : string }
+let n_categories = 6
+
+type kind = Instant | Span_begin | Span_end | Counter of float
+
+type record = {
+  time : Time.t;
+  category : category;
+  kind : kind;
+  name : string;
+  cpu : int;
+  space : int;
+  act : int;
+  message : string;
+}
+
+let no_id = -1
 
 type t = {
   ring : record option array;
@@ -24,6 +39,7 @@ type t = {
   mutable total : int;
   enabled_mask : bool array;
   mutable live : Format.formatter option;
+  mutable sinks : (record -> unit) list; (* reverse registration order *)
 }
 
 let create ?(capacity = 4096) () =
@@ -32,33 +48,87 @@ let create ?(capacity = 4096) () =
     ring = Array.make capacity None;
     next = 0;
     total = 0;
-    enabled_mask = Array.make 6 true;
+    enabled_mask = Array.make n_categories true;
     live = None;
+    sinks = [];
   }
 
 let enable t cat v = t.enabled_mask.(category_index cat) <- v
 let set_live t fmt = t.live <- fmt
+let add_sink t sink = t.sinks <- sink :: t.sinks
 let enabled t cat = t.enabled_mask.(category_index cat)
+
+let render_message r =
+  match r.kind with
+  | Counter v -> Printf.sprintf "%s = %g" r.name v
+  | Instant when r.name = "" -> r.message
+  | Instant | Span_begin | Span_end ->
+      let tag =
+        match r.kind with Span_begin -> "+" | Span_end -> "-" | _ -> ""
+      in
+      if r.message = "" then tag ^ r.name
+      else Printf.sprintf "%s%s (%s)" tag r.name r.message
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%a] %-8s %s" Time.pp r.time
+    (category_name r.category)
+    (render_message r)
 
 let push t r =
   t.ring.(t.next) <- Some r;
   t.next <- (t.next + 1) mod Array.length t.ring;
   t.total <- t.total + 1;
-  match t.live with
+  (match t.live with
   | None -> ()
-  | Some ppf ->
-      Format.fprintf ppf "[%a] %-8s %s@." Time.pp r.time
-        (category_name r.category) r.message
+  | Some ppf -> Format.fprintf ppf "%a@." pp_record r);
+  match t.sinks with
+  | [] -> ()
+  | sinks -> List.iter (fun sink -> sink r) (List.rev sinks)
+
+let record t ~time ~category ~kind ~name ~cpu ~space ~act ~message =
+  if enabled t category then
+    push t { time; category; kind; name; cpu; space; act; message }
+
+let free_form t ~time category message =
+  push t
+    {
+      time;
+      category;
+      kind = Instant;
+      name = "";
+      cpu = no_id;
+      space = no_id;
+      act = no_id;
+      message;
+    }
 
 let emit t ~time category message =
-  if enabled t category then
-    push t { time; category; message = Lazy.force message }
+  if enabled t category then free_form t ~time category (Lazy.force message)
 
 let emitf t ~time category fmt =
-  Format.kasprintf
-    (fun message ->
-      if enabled t category then push t { time; category; message })
-    fmt
+  if enabled t category then
+    Format.kasprintf (fun message -> free_form t ~time category message) fmt
+  else
+    (* Consume the format arguments without formatting or allocating. *)
+    Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let instant t ~time ?(cpu = no_id) ?(space = no_id) ?(act = no_id)
+    ?(detail = "") category name =
+  record t ~time ~category ~kind:Instant ~name ~cpu ~space ~act ~message:detail
+
+let span_begin t ~time ?(cpu = no_id) ?(space = no_id) ?(act = no_id)
+    ?(detail = "") category name =
+  record t ~time ~category ~kind:Span_begin ~name ~cpu ~space ~act
+    ~message:detail
+
+let span_end t ~time ?(cpu = no_id) ?(space = no_id) ?(act = no_id)
+    ?(detail = "") category name =
+  record t ~time ~category ~kind:Span_end ~name ~cpu ~space ~act
+    ~message:detail
+
+let counter t ~time ?(cpu = no_id) category name value =
+  record t ~time ~category ~kind:(Counter value) ~name ~cpu ~space:no_id
+    ~act:no_id ~message:""
 
 let records t =
   let cap = Array.length t.ring in
@@ -74,8 +144,4 @@ let records t =
 let count t = t.total
 
 let dump t ppf =
-  List.iter
-    (fun r ->
-      Format.fprintf ppf "[%a] %-8s %s@." Time.pp r.time
-        (category_name r.category) r.message)
-    (records t)
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) (records t)

@@ -1,8 +1,13 @@
 (** Structured simulation tracing.
 
-    Components emit trace records tagged with a category; a trace sink keeps
-    the most recent records in a ring buffer and can mirror them to a
-    formatter as they arrive.  Tracing off the hot path costs one branch. *)
+    Components emit typed trace records tagged with a category and,
+    optionally, the hardware/kernel entities involved (processor, address
+    space, activation).  A trace sink keeps the most recent records in a
+    ring buffer, can mirror them to a formatter as they arrive, and can
+    stream them to structured sinks (e.g. the Chrome trace-event exporter in
+    {!Trace_export}).  Tracing off the hot path costs one branch: every
+    emitter checks the category's enable bit before doing any formatting or
+    allocation. *)
 
 type category =
   | Sim  (** engine-level events *)
@@ -14,7 +19,28 @@ type category =
 
 val category_name : category -> string
 
-type record = { time : Time.t; category : category; message : string }
+(** What a record denotes.  Spans nest per processor track; records carrying
+    no processor ([cpu = -1]) are exported as asynchronous spans keyed by
+    activation id. *)
+type kind =
+  | Instant  (** a point event *)
+  | Span_begin  (** opens the span [name] *)
+  | Span_end  (** closes the most recent open span [name] *)
+  | Counter of float  (** the counter [name] now holds this value *)
+
+type record = {
+  time : Time.t;
+  category : category;
+  kind : kind;
+  name : string;  (** span/counter/marker name; [""] for free-form text *)
+  cpu : int;  (** processor id, or [-1] when not bound to one *)
+  space : int;  (** address-space id, or [-1] *)
+  act : int;  (** activation (or kernel-thread) id, or [-1] *)
+  message : string;  (** free-form detail *)
+}
+
+val no_id : int
+(** [-1]: the distinguished "no entity" value of the id fields. *)
 
 type t
 
@@ -25,13 +51,18 @@ val enable : t -> category -> bool -> unit
 (** Toggle recording of a category.  All categories start enabled. *)
 
 val set_live : t -> Format.formatter option -> unit
-(** When set, records are also printed as they are emitted. *)
+(** When set, records are also printed (text format) as they are emitted. *)
+
+val add_sink : t -> (record -> unit) -> unit
+(** Register a structured sink: called with every record as it is emitted,
+    before ring eviction — sinks see the full stream, not just the last
+    [capacity] records.  Sinks fire in registration order. *)
 
 val enabled : t -> category -> bool
 
 val emit : t -> time:Time.t -> category -> string Lazy.t -> unit
-(** Record an event.  The message is only forced if the category is
-    enabled. *)
+(** Record a free-form instant event.  The message is only forced if the
+    category is enabled. *)
 
 val emitf :
   t ->
@@ -39,13 +70,59 @@ val emitf :
   category ->
   ('a, Format.formatter, unit, unit) format4 ->
   'a
-(** Formatted emission; the format arguments are always evaluated, so prefer
-    [emit] with a lazy message on hot paths. *)
+(** Formatted free-form emission.  When the category is disabled the format
+    arguments are consumed without any formatting or allocation, so this is
+    safe on hot paths. *)
+
+val instant :
+  t ->
+  time:Time.t ->
+  ?cpu:int ->
+  ?space:int ->
+  ?act:int ->
+  ?detail:string ->
+  category ->
+  string ->
+  unit
+(** [instant t ~time cat name] records a named point event. *)
+
+val span_begin :
+  t ->
+  time:Time.t ->
+  ?cpu:int ->
+  ?space:int ->
+  ?act:int ->
+  ?detail:string ->
+  category ->
+  string ->
+  unit
+(** Open the span [name].  Spans on the same processor must nest: close
+    them in reverse order of opening.  Spans with no processor are exported
+    as asynchronous (overlap-tolerant) spans keyed by [act]. *)
+
+val span_end :
+  t ->
+  time:Time.t ->
+  ?cpu:int ->
+  ?space:int ->
+  ?act:int ->
+  ?detail:string ->
+  category ->
+  string ->
+  unit
+
+val counter : t -> time:Time.t -> ?cpu:int -> category -> string -> float -> unit
+(** [counter t ~time cat name v] records that the counter [name] holds [v]
+    from [time] on. *)
 
 val records : t -> record list
-(** Oldest first. *)
+(** Contents of the ring, oldest first. *)
 
 val count : t -> int
 (** Total records emitted (including ones evicted from the ring). *)
 
+val render_message : record -> string
+(** The text rendering of a record's payload, as used by {!dump}. *)
+
 val dump : t -> Format.formatter -> unit
+(** Print the ring contents in the text format, oldest first. *)

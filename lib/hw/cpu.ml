@@ -1,5 +1,6 @@
 module Time = Sa_engine.Time
 module Sim = Sa_engine.Sim
+module Trace = Sa_engine.Trace
 
 type id = int
 
@@ -38,6 +39,24 @@ let is_busy t = t.running <> None
 let occupant t = t.who
 let set_occupant t who = t.who <- who
 
+(* Each busy segment becomes one span on this CPU's track. *)
+let segment_label who =
+  match who with
+  | Nobody -> "busy"
+  | Kernel_idle -> "kernel-idle"
+  | Occupant { detail; _ } -> detail
+
+let segment_space who =
+  match who with Occupant { space; _ } -> space | _ -> Trace.no_id
+
+let trace_segment_begin t =
+  Trace.span_begin (Sim.trace t.sim) ~time:(Sim.now t.sim) ~cpu:t.cpu_id
+    ~space:(segment_space t.who) Trace.Cpu (segment_label t.who)
+
+let trace_segment_end t ~who ?detail () =
+  Trace.span_end (Sim.trace t.sim) ~time:(Sim.now t.sim) ~cpu:t.cpu_id
+    ~space:(segment_space who) ?detail Trace.Cpu (segment_label who)
+
 let begin_work t ~occupant ~length k =
   if t.running <> None then
     invalid_arg
@@ -45,12 +64,15 @@ let begin_work t ~occupant ~length k =
   if length < 0 then invalid_arg "Cpu.begin_work: negative length";
   t.who <- occupant;
   t.segments <- t.segments + 1;
+  trace_segment_begin t;
   let started = Sim.now t.sim in
   let event =
     Sim.schedule_after t.sim ~delay:length (fun () ->
+        let who = t.who in
         t.running <- None;
         t.who <- Nobody;
         t.busy_ns <- t.busy_ns + length;
+        trace_segment_end t ~who ();
         k ())
   in
   t.running <- Some { started; length; continue = k; event }
@@ -60,11 +82,13 @@ let preempt t =
   | None -> None
   | Some seg ->
       Sim.cancel t.sim seg.event;
+      let who = t.who in
       t.running <- None;
       t.who <- Nobody;
       let elapsed = Time.diff (Sim.now t.sim) seg.started in
       let remaining = seg.length - elapsed in
       t.busy_ns <- t.busy_ns + elapsed;
+      trace_segment_end t ~who ~detail:"preempted" ();
       Some { elapsed; remaining; resume = seg.continue }
 
 let busy_time t = t.busy_ns

@@ -189,6 +189,8 @@ let same_space a b = a.sp_id = b.sp_id
    consistent. *)
 let set_assigned t sp v =
   sp.sp_assigned <- v;
+  Trace.counter (Sim.trace t.sim) ~time:(Sim.now t.sim) Trace.Kernel
+    ("procs:" ^ sp.sp_name) (float_of_int v);
   match sp.sp_alloc_track with
   | Some w ->
       Sa_engine.Stats.Weighted.update w ~at:(Sim.now t.sim)
@@ -207,6 +209,22 @@ let tracef t fmt =
 
 let upcall_tracef t fmt =
   Trace.emitf (Sim.trace t.sim) ~time:(Sim.now t.sim) Trace.Upcall fmt
+
+(* Structured-trace helpers.  All emitters check the category's enable bit
+   first, so these cost one branch when the category is off. *)
+let ktrace t = Sim.trace t.sim
+
+let trace_instant t ?cpu ?space ?act ?detail cat name =
+  Trace.instant (ktrace t) ~time:(Sim.now t.sim) ?cpu ?space ?act ?detail cat
+    name
+
+let trace_counter t cat name v =
+  Trace.counter (ktrace t) ~time:(Sim.now t.sim) cat name v
+
+(* Downcalls (Table 3) appear as instants on the trace; they share the
+   Upcall category so enabling it captures the whole SA protocol. *)
+let trace_downcall t ?cpu ?space ?act name =
+  trace_instant t ?cpu ?space ?act Trace.Upcall ("downcall:" ^ name)
 
 let defer t f = ignore (Sim.schedule_after t.sim ~delay:0 f)
 
@@ -299,7 +317,18 @@ let runq_for t prio =
         List.sort (fun (a, _) (b, _) -> compare b a) ((prio, q) :: t.runqs);
       q
 
-let runq_push t kt = Queue.add kt (runq_for t kt.kt_prio)
+let runq_depth t =
+  List.fold_left (fun n (_, q) -> n + Queue.length q) 0 t.runqs
+
+(* Counter track for the native global run queue.  The depth fold only runs
+   when the category is recorded. *)
+let trace_runq t =
+  if Trace.enabled (ktrace t) Trace.Kernel then
+    trace_counter t Trace.Kernel "runq:native" (float_of_int (runq_depth t))
+
+let runq_push t kt =
+  Queue.add kt (runq_for t kt.kt_prio);
+  trace_runq t
 
 let runq_pop t =
   let rec go = function
@@ -307,7 +336,11 @@ let runq_pop t =
     | (_, q) :: rest -> (
         match Queue.take_opt q with Some kt -> Some kt | None -> go rest)
   in
-  go t.runqs
+  match go t.runqs with
+  | Some kt ->
+      trace_runq t;
+      Some kt
+  | None -> None
 
 let runq_head_prio t =
   let rec go = function
@@ -554,7 +587,11 @@ let ops_for t kt =
         kt.kt_state <- K_blocked;
         refresh_kt_desired t kt.kt_sp;
         t.st_io_blocks <- t.st_io_blocks + 1;
+        Trace.span_begin (ktrace t) ~time:(Sim.now t.sim)
+          ~space:kt.kt_sp.sp_id ~act:kt.kt_id Trace.Kernel "io-block";
         schedule_io_completion t ~io:span (fun () ->
+            Trace.span_end (ktrace t) ~time:(Sim.now t.sim)
+              ~space:kt.kt_sp.sp_id ~act:kt.kt_id Trace.Kernel "io-block";
             kt.kt_pending_cost <-
               kt.kt_pending_cost + t.costs.Cost_model.kt_unblock;
             make_ready t kt);
@@ -669,10 +706,27 @@ let deliver_upcall t slot sp ~extra_cost events =
   t.st_upcalls <- t.st_upcalls + 1;
   t.st_upcall_events <- t.st_upcall_events + List.length events;
   sp.sp_upcalls <- sp.sp_upcalls + 1;
-  upcall_tracef t "upcall to %s on cpu%d act%d: %s" sp.sp_name
-    (Cpu.id slot.slot_cpu) act.act_id
-    (String.concat ", "
-       (List.map (Format.asprintf "%a" Upcall.pp_event) events));
+  if Trace.enabled (ktrace t) Trace.Upcall then
+    upcall_tracef t "upcall to %s on cpu%d act%d: %s" sp.sp_name
+      (Cpu.id slot.slot_cpu) act.act_id
+      (String.concat ", "
+         (List.map (Format.asprintf "%a" Upcall.pp_event) events));
+  (* One span per Table-2 event carried by this upcall, open until the user
+     level receives the delivery (or it is requeued by a preemption).  Spans
+     are keyed by the delivering activation's id, so a preempted delivery
+     cannot corrupt the nesting of the per-CPU tracks. *)
+  let trace_event_span edge ev =
+    if Trace.enabled (ktrace t) Trace.Upcall then begin
+      let emit =
+        match edge with `B -> Trace.span_begin | `E -> Trace.span_end
+      in
+      emit (ktrace t) ~time:(Sim.now t.sim) ~space:sp.sp_id ~act:act.act_id
+        ~detail:(Format.asprintf "%a" Upcall.pp_event ev)
+        Trace.Upcall
+        ("upcall:" ^ Upcall.event_name ev)
+    end
+  in
+  List.iter (trace_event_span `B) events;
   (* Section 3.1: if the thread manager's pages are swapped out, the upcall
      would immediately page fault; fault them in first, delaying delivery by
      one I/O. *)
@@ -687,6 +741,7 @@ let deliver_upcall t slot sp ~extra_cost events =
   slot.slot_delivery <- Some events;
   charge_on_slot slot ~occupant:(act_occupant act "upcall") ~cost (fun () ->
       slot.slot_delivery <- None;
+      List.iter (trace_event_span `E) (List.rev events);
       s.client.on_upcall
         { uc_activation = act; uc_cpu = slot.slot_cpu; uc_events = events })
 
@@ -721,6 +776,13 @@ let stop_activation_on t slot =
       | Some events ->
           (* The user level never saw these events; put them back. *)
           slot.slot_delivery <- None;
+          List.iter
+            (fun ev ->
+              Trace.span_end (ktrace t) ~time:(Sim.now t.sim)
+                ~space:victim.act_sp.sp_id ~act:victim.act_id
+                ~detail:"requeued" Trace.Upcall
+                ("upcall:" ^ Upcall.event_name ev))
+            (List.rev events);
           s.pending <- List.rev_append events s.pending;
           victim.act_state <- A_free;
           victim.act_repair <- None;
@@ -802,11 +864,15 @@ let sa_block_common t act ~arrange_wakeup k =
       s.blocked_acts <- s.blocked_acts + 1;
       slot.slot_act <- None;
       t.st_io_blocks <- t.st_io_blocks + 1;
+      Trace.span_begin (ktrace t) ~time:(Sim.now t.sim) ~space:sp.sp_id
+        ~act:act.act_id Trace.Kernel "io-block";
       arrange_wakeup (fun () ->
           (match act.act_state with
           | A_blocked -> ()
           | A_running _ | A_stopped | A_free ->
               failwith "sa wakeup: activation not blocked");
+          Trace.span_end (ktrace t) ~time:(Sim.now t.sim) ~space:sp.sp_id
+            ~act:act.act_id Trace.Kernel "io-block";
           (* The kernel never resumes the thread directly: it reports
              Activation_unblocked with the saved user context. *)
           act.act_state <- A_stopped;
@@ -838,6 +904,7 @@ let sa_block_kernel t act ~register k =
    upcall on the same processor. *)
 let sa_request_preempt t sp ~cpu =
   if cpu < 0 || cpu >= ncpus t then invalid_arg "sa_request_preempt: cpu";
+  trace_downcall t ~cpu ~space:sp.sp_id "preempt-processor";
   defer t (fun () ->
       let slot = slot_of_cpu t cpu in
       if slot_owned_by slot sp then begin
@@ -855,6 +922,7 @@ let sa_request_preempt t sp ~cpu =
 
 let sa_add_more_processors t sp n =
   if n < 0 then invalid_arg "sa_add_more_processors";
+  trace_downcall t ~space:sp.sp_id "add-more-processors";
   let want = min (ncpus t) (sp.sp_assigned + n) in
   if want > sp.sp_desired then begin
     sp.sp_desired <- want;
@@ -869,6 +937,8 @@ let sa_cpu_idle t act =
       let slot = slot_of_cpu t cpu_id in
       let sp = act.act_sp in
       let s = sa_fields sp in
+      trace_downcall t ~cpu:cpu_id ~space:sp.sp_id ~act:act.act_id
+        "this-processor-is-idle";
       act.act_state <- A_free;
       act.act_repair <- None;
       if t.cfg.Kconfig.activation_pooling then s.pool <- act :: s.pool;
@@ -897,6 +967,8 @@ let sa_respond_warning t act =
         invalid_arg "sa_respond_warning: no warning outstanding";
       let sp = act.act_sp in
       let s = sa_fields sp in
+      trace_downcall t ~cpu:cpu_id ~space:sp.sp_id ~act:act.act_id
+        "respond-warning";
       slot.slot_warned <- false;
       act.act_state <- A_free;
       act.act_repair <- None;
@@ -915,6 +987,8 @@ let sa_return_activation t act_id =
   match Hashtbl.find_opt t.acts act_id with
   | None -> invalid_arg "sa_return_activation: unknown activation"
   | Some act -> (
+      trace_downcall t ~space:act.act_sp.sp_id ~act:act_id
+        "return-activation";
       match act.act_state with
       | A_stopped ->
           act.act_state <- A_free;
@@ -954,6 +1028,8 @@ let preempt_slot_now t sp slot =
   slot.slot_warned <- false;
   tracef t "allocator: preempt cpu%d from %s" (Cpu.id slot.slot_cpu)
     sp.sp_name;
+  trace_instant t ~cpu:(Cpu.id slot.slot_cpu) ~space:sp.sp_id Trace.Kernel
+    "alloc:preempt";
   match sp.sp_kind with
   | Sa s ->
       let events = stop_activation_on t slot in
@@ -1060,6 +1136,8 @@ let grant_cpu_to t slot sp =
   slot.slot_owner <- Some sp;
   set_assigned t sp (sp.sp_assigned + 1);
   tracef t "allocator: grant cpu%d to %s" (Cpu.id slot.slot_cpu) sp.sp_name;
+  trace_instant t ~cpu:(Cpu.id slot.slot_cpu) ~space:sp.sp_id Trace.Kernel
+    "alloc:grant";
   match sp.sp_kind with
   | Sa _ ->
       let events = Upcall.Add_processor :: drain_pending sp in

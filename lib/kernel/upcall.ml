@@ -6,6 +6,19 @@ type event =
   | Activation_blocked of { act : int }
   | Activation_unblocked of { act : int; ctx : user_ctx }
 
+let event_name = function
+  | Add_processor -> "add-processor"
+  | Processor_preempted _ -> "processor-preempted"
+  | Activation_blocked _ -> "activation-blocked"
+  | Activation_unblocked _ -> "activation-unblocked"
+
+let event_act = function
+  | Add_processor -> -1
+  | Processor_preempted { act; _ }
+  | Activation_blocked { act }
+  | Activation_unblocked { act; _ } ->
+      act
+
 let pp_event ppf = function
   | Add_processor -> Format.pp_print_string ppf "add-processor"
   | Processor_preempted { act; ctx } ->

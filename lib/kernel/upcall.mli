@@ -35,4 +35,11 @@ type event =
           user-level thread that was executing in the context of the blocked
           scheduler activation." *)
 
+val event_name : event -> string
+(** Stable kebab-case name of the event kind, used as the trace span name
+    ([upcall:<name>]). *)
+
+val event_act : event -> int
+(** Activation id the event concerns, or [-1] for [Add_processor]. *)
+
 val pp_event : Format.formatter -> event -> unit

@@ -4,14 +4,18 @@ module Cpu = Sa_hw.Cpu
 module Machine = Sa_hw.Machine
 module System = Sa.System
 
-let max_columns = 4096
+let default_max_columns = 4096
 
+(* Columns live in a ring: once [max] samples are held, each new sample
+   overwrites the oldest in O(1) — the previous list-truncation scheme made
+   every sample past the cap an O(max) rebuild, quadratic over a run. *)
 type t = {
   sys : System.t;
   resolution : Time.span;
   names : (int, string) Hashtbl.t;  (* space id -> name initial source *)
-  mutable columns : char array list;  (* newest first *)
-  mutable count : int;
+  ring : char array array;
+  mutable start : int;  (* index of the oldest column *)
+  mutable count : int;  (* columns held, <= Array.length ring *)
 }
 
 let sample t =
@@ -42,17 +46,31 @@ let sample t =
             | n -> Char.lowercase_ascii n.[0]))
       (Machine.cpus m)
   in
-  t.columns <- col :: t.columns;
-  t.count <- t.count + 1;
-  if t.count > max_columns then begin
-    t.columns <- List.filteri (fun i _ -> i < max_columns) t.columns;
-    t.count <- max_columns
+  let cap = Array.length t.ring in
+  if t.count < cap then begin
+    t.ring.((t.start + t.count) mod cap) <- col;
+    t.count <- t.count + 1
+  end
+  else begin
+    t.ring.(t.start) <- col;
+    t.start <- (t.start + 1) mod cap
   end
 
-let attach sys ~resolution =
+let column t i =
+  t.ring.((t.start + i) mod Array.length t.ring)
+
+let attach ?(max_columns = default_max_columns) sys ~resolution =
   if resolution <= 0 then invalid_arg "Timeline.attach: resolution";
+  if max_columns <= 0 then invalid_arg "Timeline.attach: max_columns";
   let t =
-    { sys; resolution; names = Hashtbl.create 8; columns = []; count = 0 }
+    {
+      sys;
+      resolution;
+      names = Hashtbl.create 8;
+      ring = Array.make max_columns [||];
+      start = 0;
+      count = 0;
+    }
   in
   let sim = System.sim sys in
   let rec tick () =
@@ -68,19 +86,18 @@ let attach sys ~resolution =
 let samples t = t.count
 
 let render ?(width = 72) t ppf =
-  let cols = Array.of_list (List.rev t.columns) in
-  let n = Array.length cols in
-  if n = 0 then Format.fprintf ppf "(no samples)@."
+  let n = t.count in
+  let cpus = if n = 0 then 0 else Array.length (column t 0) in
+  if n = 0 || cpus = 0 then Format.fprintf ppf "(no samples)@."
   else begin
     let stride = max 1 ((n + width - 1) / width) in
     let shown = (n + stride - 1) / stride in
-    let cpus = Array.length cols.(0) in
     Format.fprintf ppf "one column = %a (%d samples)@." Time.pp_span
       (t.resolution * stride) n;
     for cpu = 0 to cpus - 1 do
       Format.fprintf ppf "cpu%d |" cpu;
       for i = 0 to shown - 1 do
-        Format.pp_print_char ppf cols.(i * stride).(cpu)
+        Format.pp_print_char ppf (column t (i * stride)).(cpu)
       done;
       Format.pp_print_newline ppf ()
     done

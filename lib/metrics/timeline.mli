@@ -14,12 +14,14 @@
 
 type t
 
-val attach : Sa.System.t -> resolution:Sa_engine.Time.span -> t
+val attach :
+  ?max_columns:int -> Sa.System.t -> resolution:Sa_engine.Time.span -> t
 (** Start sampling.  Sampling stops by itself once the simulation goes
-    quiet; samples are capped (oldest kept) at a few thousand columns. *)
+    quiet.  At most [max_columns] (default 4096) columns are retained in a
+    ring — each sample past the cap overwrites the oldest in O(1). *)
 
 val samples : t -> int
-(** Columns collected so far. *)
+(** Columns currently held (capped at [max_columns]). *)
 
 val render : ?width:int -> t -> Format.formatter -> unit
 (** Print one row per processor; each column is one sample.  Cells show the

@@ -1,5 +1,6 @@
 module Time = Sa_engine.Time
 module Sim = Sa_engine.Sim
+module Trace = Sa_engine.Trace
 module Cost_model = Sa_hw.Cost_model
 module Kernel = Sa_kernel.Kernel
 module Program = Sa_program.Program
@@ -31,6 +32,16 @@ let ops_of t tcb =
   | Some ops -> ops
   | None -> failwith "Ft_kt: thread bound to an unstarted virtual processor"
 
+(* Ready-queue depth counter track (one per space); the count read only
+   happens when the category is recorded. *)
+let trace_ready t =
+  let sim = Kernel.sim t.kernel in
+  let tr = Sim.trace sim in
+  if Trace.enabled tr Trace.Uthread then
+    Trace.counter tr ~time:(Sim.now sim) Trace.Uthread
+      ("ready:" ^ Kernel.space_name t.space)
+      (float_of_int (Ft_core.ready_threads t.core_state))
+
 (* The user-level scheduler loop run by each virtual processor: dispatch
    from its own ready list, steal from peers, or idle-scan. *)
 let rec vp_step t idx ops =
@@ -45,6 +56,7 @@ let rec vp_step t idx ops =
       (fun () ->
         match Ft_core.pop_own s idx with
         | Some tcb ->
+            trace_ready t;
             ops.Kernel.kt_charge (Ft_core.dispatch_cost d) (fun () ->
                 Ft_core.unlock_cell cell;
                 Ft_core.run_thread s ~index:idx tcb)
@@ -129,7 +141,7 @@ let create kernel ~name ~vps ?(priority = 0) ?cache ?io_dev
           match t.vp_ops.(idx) with
           | Some ops -> vp_step t idx ops
           | None -> failwith "Ft_kt: thread stopped on unstarted VP");
-      work_created = (fun _ _ -> ());  (* VPs poll their ready lists *)
+      work_created = (fun _ _ -> trace_ready t);  (* VPs poll their ready lists *)
       all_done =
         (fun () ->
           t.done_at <- Some (Sim.now sim);

@@ -1,5 +1,6 @@
 module Time = Sa_engine.Time
 module Sim = Sa_engine.Sim
+module Trace = Sa_engine.Trace
 module Cpu = Sa_hw.Cpu
 module Cost_model = Sa_hw.Cost_model
 module Kernel = Sa_kernel.Kernel
@@ -67,6 +68,26 @@ let act_of t tcb =
   | Some act -> act
   | None -> failwith "Ft_sa: thread not bound to an activation"
 
+(* Ready-queue depth counter track; the count read only happens when the
+   category is recorded. *)
+let trace_ready t =
+  let sim = Kernel.sim t.kernel in
+  let tr = Sim.trace sim in
+  if Trace.enabled tr Trace.Uthread then
+    Trace.counter tr ~time:(Sim.now sim) Trace.Uthread
+      ("ready:" ^ Kernel.space_name (space t))
+      (float_of_int (Ft_core.ready_threads t.core_state))
+
+(* Critical-section recovery (Section 3.3) as a span: opens when a thread
+   preempted inside a critical section is queued for temporary continuation,
+   closes when the continuation has run it to the section exit. *)
+let trace_recovery t edge tcb =
+  let sim = Kernel.sim t.kernel in
+  let emit = match edge with `B -> Trace.span_begin | `E -> Trace.span_end in
+  emit (Sim.trace sim) ~time:(Sim.now sim)
+    ~space:(Kernel.space_id (space t))
+    ~act:(Ft_core.tcb_id tcb) Trace.Uthread "cs-recovery"
+
 let bind t act tcb =
   jlog "bind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
   Hashtbl.replace t.loaded (Kernel.activation_id act) (L_thread tcb);
@@ -118,6 +139,7 @@ let rec manager_continue t act =
       bind t act tcb;
       Ft_core.resume_preempted t.core_state (driver t) ~at:idx tcb ~remaining
         ~resume (fun () ->
+          trace_recovery t `E tcb;
           Hashtbl.remove t.bound (Ft_core.tcb_id tcb);
           Hashtbl.replace t.loaded aid L_manager;
           manager_continue t act)
@@ -141,6 +163,7 @@ and dispatch t act idx =
 and run_picked t act idx cell tcb =
   let s = t.core_state in
   let d = driver t in
+  trace_ready t;
   bind t act tcb;
   let repair () =
     (* Preempted mid-dispatch: put the half-dispatched thread back. *)
@@ -246,12 +269,14 @@ let handle_event t idx = function
           Hashtbl.remove t.bound (Ft_core.tcb_id tcb);
           Hashtbl.remove t.act_cpu aid;
           Kernel.sa_return_activation t.kernel aid;
-          if Ft_core.tcb_in_cs tcb then
+          if Ft_core.tcb_in_cs tcb then begin
             (* Cannot touch the ready list with this thread yet: queue it
                for temporary continuation (Section 3.3). *)
+            trace_recovery t `B tcb;
             t.pending_recovery <-
               t.pending_recovery
               @ [ (tcb, ctx.Upcall.remaining, ctx.Upcall.resume) ]
+          end
           else
             Ft_core.resume_preempted t.core_state (driver t) ~at:idx tcb
               ~remaining:ctx.Upcall.remaining ~resume:ctx.Upcall.resume
@@ -345,6 +370,7 @@ let create kernel ~name ?(priority = 0) ?cache ?io_dev
           manager_continue t act);
       work_created =
         (fun s tcb ->
+          trace_ready t;
           (* Table 3: tell the kernel only when runnable threads exceed our
              processors (capped at the application's parallelism limit). *)
           let sp = space t in

@@ -1,5 +1,6 @@
 module Time = Sa_engine.Time
 module Sim = Sa_engine.Sim
+module Trace = Sa_engine.Trace
 module Cost_model = Sa_hw.Cost_model
 module Buffer_cache = Sa_hw.Buffer_cache
 module Io_device = Sa_hw.Io_device
@@ -45,6 +46,19 @@ let space t = t.sp
 let completion_time t = t.done_at
 let is_finished t = t.done_at <> None
 let live_threads t = t.live
+
+(* Live kernel-thread counter track, plus fork/exit markers: the visible
+   cost driver of this backend is the sheer number of kernel threads. *)
+let trace_live t ~tid marker =
+  let sim = Kernel.sim t.kernel in
+  let tr = Sim.trace sim in
+  if Trace.enabled tr Trace.Uthread then begin
+    let name = Kernel.space_name t.sp in
+    Trace.instant tr ~time:(Sim.now sim) ~space:(Kernel.space_id t.sp)
+      ~act:tid Trace.Uthread marker;
+    Trace.counter tr ~time:(Sim.now sim) Trace.Uthread ("live:" ^ name)
+      (float_of_int t.live)
+  end
 
 let kmutex t m =
   let id = Program.Mutex.id m in
@@ -100,6 +114,7 @@ let rec exec t thr (ops : Kernel.kt_ops) prog =
       ops.Kernel.kt_charge (c_exit t c) (fun () ->
           thr.th_done <- true;
           t.live <- t.live - 1;
+          trace_live t ~tid:thr.th_id "kt:exit";
           let wakes = thr.th_join_wakes in
           thr.th_join_wakes <- [];
           List.iter (fun w -> w ()) wakes;
@@ -116,6 +131,7 @@ let rec exec t thr (ops : Kernel.kt_ops) prog =
           let child = { th_id = ctid; th_done = false; th_join_wakes = [] } in
           Hashtbl.replace t.threads ctid child;
           t.live <- t.live + 1;
+          trace_live t ~tid:ctid "kt:fork";
           ignore
             (Kernel.spawn_kthread t.kernel t.sp
                ~name:(Printf.sprintf "dsl-t%d" ctid)

@@ -1,0 +1,164 @@
+(* Minimal JSON parser, used to validate the Chrome trace exporter's output
+   without an external JSON dependency.  Strict where it matters for
+   well-formedness (balanced structure, string escapes, no trailing
+   garbage); \u escapes above ASCII are kept verbatim rather than decoded,
+   which is enough for these tests. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_lit lit v =
+    let len = String.length lit in
+    if !pos + len <= n && String.sub s !pos len = lit then begin
+      pos := !pos + len;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        (if !pos >= n then fail "truncated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 't' -> Buffer.add_char b '\t'
+         | 'r' -> Buffer.add_char b '\r'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+             | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+             | Some _ -> Buffer.add_string b ("\\u" ^ hex)
+             | None -> fail "malformed \\u escape")
+         | _ -> fail "unknown escape");
+        go ()
+      end
+      else if Char.code c < 0x20 then fail "raw control char in string"
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numeric s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a value";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> parse_lit "true" (Bool true)
+    | Some 'f' -> parse_lit "false" (Bool false)
+    | Some 'n' -> parse_lit "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let arr = function Arr l -> l | _ -> invalid_arg "Json_check.arr"
+let str = function Str s -> s | _ -> invalid_arg "Json_check.str"
+let num = function Num f -> f | _ -> invalid_arg "Json_check.num"
+let str_member key v = Option.map str (member key v)

@@ -86,8 +86,46 @@ let pqueue_cancel_prop =
       let popped = List.sort compare (drain []) in
       popped = List.sort compare !kept)
 
+(* Mass cancellation must not leave the heap full of dead entries: the
+   compaction rule (compact once dead > 64 and dead entries dominate) bounds
+   the physical heap at max(live + 65, 2 * live + 1), and the surviving
+   entries must still pop correctly. *)
+let pqueue_compact_bound =
+  QCheck.Test.make ~name:"mass cancel compacts the heap and preserves order"
+    ~count:30
+    QCheck.(int_range 200 2000)
+    (fun n ->
+      let q = Pqueue.create () in
+      let entries =
+        Array.init n (fun i -> Pqueue.add q ~key:(i * 7919 mod n) ~seq:i i)
+      in
+      Array.iteri (fun i e -> if i mod 37 <> 0 then Pqueue.remove q e) entries;
+      let live = ((n - 1) / 37) + 1 in
+      let bound = Stdlib.max (live + 65) ((2 * live) + 1) in
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (_, _, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      Pqueue.length q = 0
+      && List.length popped = live
+      && List.for_all (fun v -> v mod 37 = 0) popped
+      && bound >= Pqueue.heap_size q)
+
 let pqueue_tests =
   [
+    Alcotest.test_case "heap size shrinks after mass cancellation" `Quick
+      (fun () ->
+        let q = Pqueue.create () in
+        let entries =
+          Array.init 1000 (fun i -> Pqueue.add q ~key:i ~seq:i i)
+        in
+        Array.iteri (fun i e -> if i >= 10 then Pqueue.remove q e) entries;
+        check Alcotest.int "live length" 10 (Pqueue.length q);
+        check Alcotest.bool "heap compacted" true (Pqueue.heap_size q <= 75);
+        check Alcotest.bool "min survives" true
+          (match Pqueue.pop q with Some (0, _, 0) -> true | _ -> false));
     Alcotest.test_case "empty pops None" `Quick (fun () ->
         let q = Pqueue.create () in
         check Alcotest.bool "empty" true (Pqueue.is_empty q);
@@ -118,6 +156,7 @@ let pqueue_tests =
         check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3 ] keys);
     qtest pqueue_pop_order;
     qtest pqueue_cancel_prop;
+    qtest pqueue_compact_bound;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -315,6 +354,161 @@ let trace_tests =
             (forced := true;
              "x"));
         check Alcotest.bool "not forced" false !forced);
+    Alcotest.test_case "emitf performs no formatting when disabled" `Quick
+      (fun () ->
+        let tr = Trace.create () in
+        Trace.enable tr Trace.Cpu false;
+        (* A custom %a printer is only invoked if formatting actually runs,
+           so the counter proves the disabled path formats nothing. *)
+        let formatted = ref 0 in
+        let pr ppf () =
+          incr formatted;
+          Format.pp_print_string ppf "payload"
+        in
+        Trace.emitf tr ~time:Time.zero Trace.Cpu "cpu %a %d" pr () 3;
+        check Alcotest.int "printer never ran" 0 !formatted;
+        check Alcotest.int "nothing recorded" 0 (Trace.count tr);
+        Trace.emitf tr ~time:Time.zero Trace.Kernel "kernel %a %d" pr () 3;
+        check Alcotest.int "printer ran when enabled" 1 !formatted;
+        check Alcotest.int "one record" 1 (Trace.count tr));
+    Alcotest.test_case "structured records carry ids and render" `Quick
+      (fun () ->
+        let tr = Trace.create () in
+        Trace.span_begin tr ~time:Time.zero ~cpu:2 ~space:1 ~act:7 Trace.Upcall
+          "upcall:add-processor";
+        Trace.counter tr ~time:(Time.of_ns 10) Trace.Kernel "runq:native" 3.0;
+        Trace.span_end tr ~time:(Time.of_ns 20) ~cpu:2 Trace.Upcall
+          "upcall:add-processor";
+        match Trace.records tr with
+        | [ b; c; e ] ->
+            check Alcotest.int "cpu" 2 b.Trace.cpu;
+            check Alcotest.int "space" 1 b.Trace.space;
+            check Alcotest.int "act" 7 b.Trace.act;
+            check Alcotest.bool "begin kind" true
+              (b.Trace.kind = Trace.Span_begin);
+            check Alcotest.bool "counter kind" true
+              (c.Trace.kind = Trace.Counter 3.0);
+            check Alcotest.string "counter rendering" "runq:native = 3"
+              (Trace.render_message c);
+            check Alcotest.string "span end rendering"
+              "-upcall:add-processor" (Trace.render_message e)
+        | l ->
+            Alcotest.fail
+              (Printf.sprintf "expected 3 records, got %d" (List.length l)));
+    Alcotest.test_case "ring wraps structured records oldest-first" `Quick
+      (fun () ->
+        let tr = Trace.create ~capacity:3 () in
+        for i = 1 to 7 do
+          Trace.instant tr ~time:(Time.of_ns i) Trace.Kernel
+            (Printf.sprintf "ev%d" i)
+        done;
+        let names = List.map (fun r -> r.Trace.name) (Trace.records tr) in
+        check
+          (Alcotest.list Alcotest.string)
+          "last three, oldest first" [ "ev5"; "ev6"; "ev7" ] names;
+        check Alcotest.int "count includes evicted" 7 (Trace.count tr));
+    Alcotest.test_case "sinks see the full stream past ring capacity" `Quick
+      (fun () ->
+        let tr = Trace.create ~capacity:2 () in
+        let seen = ref [] in
+        Trace.add_sink tr (fun r -> seen := r.Trace.name :: !seen);
+        Trace.enable tr Trace.Cpu false;
+        Trace.instant tr ~time:Time.zero Trace.Cpu "dropped";
+        for i = 1 to 4 do
+          Trace.instant tr ~time:(Time.of_ns i) Trace.Kernel
+            (Printf.sprintf "k%d" i)
+        done;
+        check
+          (Alcotest.list Alcotest.string)
+          "enabled records only, in order" [ "k1"; "k2"; "k3"; "k4" ]
+          (List.rev !seen));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace_export (Chrome trace-event JSON)                              *)
+(* ------------------------------------------------------------------ *)
+
+module Trace_export = Sa_engine.Trace_export
+module J = Json_check
+
+let mkrec ~time ~kind ?(cpu = Trace.no_id) ?(space = Trace.no_id)
+    ?(act = Trace.no_id) ?(message = "") name =
+  { Trace.time; category = Trace.Kernel; kind; name; cpu; space; act; message }
+
+let trace_export_tests =
+  [
+    Alcotest.test_case "stream is well-formed JSON with every ph kind" `Quick
+      (fun () ->
+        let records =
+          [
+            mkrec ~time:Time.zero ~kind:Trace.Span_begin ~cpu:0 ~space:1 "busy";
+            mkrec ~time:(Time.of_ns 2_000) ~kind:(Trace.Counter 3.0)
+              "runq:native";
+            mkrec ~time:(Time.of_ns 3_000) ~kind:Trace.Instant ~cpu:0
+              ~message:"detail \"quoted\"\twith\ncontrols"
+              "downcall:add-more-processors";
+            mkrec ~time:(Time.of_ns 4_000) ~kind:Trace.Span_begin ~act:7
+              ~space:1 "io-block";
+            mkrec ~time:(Time.of_ns 5_000) ~kind:Trace.Span_end ~cpu:0 "busy";
+            mkrec ~time:(Time.of_ns 9_000) ~kind:Trace.Span_end ~act:7 ~space:1
+              "io-block";
+          ]
+        in
+        let v = J.parse (Trace_export.to_string records) in
+        let events = J.arr (Option.get (J.member "traceEvents" v)) in
+        List.iter
+          (fun e ->
+            check Alcotest.bool "has ph" true (J.member "ph" e <> None);
+            check Alcotest.bool "has pid" true (J.member "pid" e <> None);
+            check Alcotest.bool "has tid" true (J.member "tid" e <> None))
+          events;
+        let phs = List.filter_map (J.str_member "ph") events in
+        let has p = List.mem p phs in
+        check Alcotest.bool "sync span B/E on the cpu track" true
+          (has "B" && has "E");
+        check Alcotest.bool "async span b/e for the unbound span" true
+          (has "b" && has "e");
+        check Alcotest.bool "counter" true (has "C");
+        check Alcotest.bool "instant" true (has "i");
+        check Alcotest.bool "track metadata" true (has "M");
+        let counter =
+          List.find (fun e -> J.str_member "ph" e = Some "C") events
+        in
+        let args = Option.get (J.member "args" counter) in
+        check (Alcotest.float 1e-9) "counter value" 3.0
+          (J.num (Option.get (J.member "value" args))));
+    Alcotest.test_case "cpu records and kernel records land on own tracks"
+      `Quick (fun () ->
+        let records =
+          [
+            mkrec ~time:Time.zero ~kind:Trace.Instant ~cpu:3 "on-cpu";
+            mkrec ~time:Time.zero ~kind:Trace.Instant "unbound";
+          ]
+        in
+        let v = J.parse (Trace_export.to_string records) in
+        let events = J.arr (Option.get (J.member "traceEvents" v)) in
+        let tid_of name =
+          let e =
+            List.find (fun e -> J.str_member "name" e = Some name) events
+          in
+          J.num (Option.get (J.member "tid" e))
+        in
+        check Alcotest.bool "cpu 3 on tid 4" true (tid_of "on-cpu" = 4.0);
+        check Alcotest.bool "unbound on kernel tid 0" true
+          (tid_of "unbound" = 0.0));
+    Alcotest.test_case "close is idempotent and feed after close no-ops"
+      `Quick (fun () ->
+        let buf = Buffer.create 256 in
+        let w = Trace_export.create ~out:(Buffer.add_string buf) in
+        Trace_export.feed w
+          (mkrec ~time:Time.zero ~kind:Trace.Instant "only");
+        Trace_export.close w;
+        let len = Buffer.length buf in
+        Trace_export.close w;
+        Trace_export.feed w
+          (mkrec ~time:Time.zero ~kind:Trace.Instant "late");
+        check Alcotest.int "no further output" len (Buffer.length buf);
+        ignore (J.parse (Buffer.contents buf)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -528,5 +722,6 @@ let () =
       ("rng", rng_tests);
       ("stats", stats_tests);
       ("trace", trace_tests);
+      ("trace-export", trace_export_tests);
       ("sim", sim_tests);
     ]

@@ -219,6 +219,71 @@ let ablation_tests =
         | _ -> Alcotest.fail "expected two rows");
   ]
 
+let tracing_tests =
+  let module Trace_export = Sa_engine.Trace_export in
+  let module J = Json_check in
+  [
+    Alcotest.test_case "chrome export of a run parses and has upcall spans"
+      `Quick (fun () ->
+        let p = { Nbody.default_params with n_bodies = 60; steps = 2 } in
+        let prep = Nbody.prepare p in
+        let sys = System.create ~cpus:4 ~kconfig:Kconfig.default () in
+        let buf = Buffer.create 65536 in
+        let w = Trace_export.create ~out:(Buffer.add_string buf) in
+        let j1 =
+          System.submit sys ~backend:`Fastthreads_on_sa ~name:"sa-job"
+            ~trace_sink:(Trace_export.feed w) prep.Nbody.program
+        in
+        let j2 =
+          System.submit sys ~backend:`Topaz_kthreads ~name:"kt-job"
+            prep.Nbody.program
+        in
+        System.run sys;
+        Trace_export.close w;
+        check Alcotest.bool "both done" true
+          (System.finished j1 && System.finished j2);
+        let v = J.parse (Buffer.contents buf) in
+        let events = J.arr (Option.get (J.member "traceEvents" v)) in
+        let names = List.filter_map (J.str_member "name") events in
+        check Alcotest.bool "add-processor span" true
+          (List.mem "upcall:add-processor" names);
+        check Alcotest.bool "some counter track" true
+          (List.exists (fun e -> J.str_member "ph" e = Some "C") events);
+        check Alcotest.bool "processors-per-space counter" true
+          (List.exists
+             (fun n ->
+               String.length n >= 6 && String.sub n 0 6 = "procs:")
+             names);
+        (* spans close in pairs; entities still blocked when the run ends
+           may leave a trailing open span, which trace viewers tolerate *)
+        let count ?name ph =
+          List.length
+            (List.filter
+               (fun e ->
+                 J.str_member "ph" e = Some ph
+                 && match name with
+                    | None -> true
+                    | Some n -> J.str_member "name" e = Some n)
+               events)
+        in
+        check Alcotest.int "balanced B/E" (count "B") (count "E");
+        let upcall_b =
+          count ~name:"upcall:add-processor" "b"
+          + count ~name:"upcall:activation-blocked" "b"
+          + count ~name:"upcall:activation-unblocked" "b"
+          + count ~name:"upcall:processor-preempted" "b"
+        in
+        let upcall_e =
+          count ~name:"upcall:add-processor" "e"
+          + count ~name:"upcall:activation-blocked" "e"
+          + count ~name:"upcall:activation-unblocked" "e"
+          + count ~name:"upcall:processor-preempted" "e"
+        in
+        check Alcotest.int "upcall spans balance exactly" upcall_b upcall_e;
+        check Alcotest.bool "no span end without a begin" true
+          (count "e" <= count "b"));
+  ]
+
 let () =
   Alcotest.run "integration"
     [
@@ -229,4 +294,5 @@ let () =
       ("upcalls", upcall_tests);
       ("determinism", determinism_tests);
       ("ablations", ablation_tests);
+      ("tracing", tracing_tests);
     ]
