@@ -5,7 +5,8 @@
      latency  run a latency microbenchmark (null-fork / signal-wait / upcall)
      report   regenerate the paper's tables and figures
      trace    run a small workload with the kernel/upcall trace streamed live
-     chaos    run seeded fault-injection campaigns with invariant checking *)
+     chaos    run seeded fault-injection campaigns with invariant checking
+     explore  search the schedule space; record, replay and shrink .sched files *)
 
 module Time = Sa_engine.Time
 module Sim = Sa_engine.Sim
@@ -501,13 +502,77 @@ let chaos_cmd =
       & info [ "inject" ] ~docv:"KINDS"
           ~doc:
             "Comma-separated injector kinds: $(b,preempt), $(b,io-faults), \
-             $(b,daemon-storm), $(b,priority-flap), $(b,space-churn).  \
-             Default: all.")
+             $(b,daemon-storm), $(b,priority-flap), $(b,space-churn), \
+             $(b,demand-drop).  Default: every survivable kind \
+             ($(b,demand-drop) is a deliberate bug seed and must be named \
+             explicitly).")
   in
-  let action cpus seeds base_seed mode kinds =
+  (* One flag per injector-config field, defaulting to Injector.default, so
+     a failing run's replay line can name every non-default knob. *)
+  let d = Injector.default in
+  let fopt names default doc =
+    Arg.(value & opt float default & info names ~docv:"X" ~doc)
+  in
+  let iopt names default doc =
+    Arg.(value & opt int default & info names ~docv:"N" ~doc)
+  in
+  let preempt_gap_arg =
+    fopt [ "preempt-gap-us" ] d.Injector.preempt_gap_us
+      "Mean gap between forced preemptions (us)."
+  in
+  let spurious_prob_arg =
+    fopt [ "spurious-prob" ] d.Injector.spurious_prob
+      "Chance a preemption tick also fires a spurious completion."
+  in
+  let io_fault_prob_arg =
+    fopt [ "io-fault-prob" ] d.Injector.io_fault_prob
+      "Per-completion chance of an injected I/O fault."
+  in
+  let io_delay_arg =
+    fopt [ "io-delay-us" ]
+      (Time.span_to_us d.Injector.io_delay)
+      "Magnitude of an injected completion delay (us)."
+  in
+  let cache_fault_prob_arg =
+    fopt [ "cache-fault-prob" ] d.Injector.cache_fault_prob
+      "Per-hit chance of a cache invalidation."
+  in
+  let storm_gap_arg =
+    fopt [ "storm-gap-us" ] d.Injector.storm_gap_us
+      "Mean gap between daemon storms (us)."
+  in
+  let storm_size_arg =
+    iopt [ "storm-size" ] d.Injector.storm_size
+      "Kernel threads per daemon storm."
+  in
+  let storm_burst_arg =
+    fopt [ "storm-burst-us" ]
+      (Time.span_to_us d.Injector.storm_burst)
+      "Compute burst of each storm thread (us)."
+  in
+  let flap_gap_arg =
+    fopt [ "flap-gap-us" ] d.Injector.flap_gap_us
+      "Mean gap between priority flaps (us)."
+  in
+  let flap_hold_arg =
+    fopt [ "flap-hold-us" ]
+      (Time.span_to_us d.Injector.flap_hold)
+      "How long a boosted priority is held (us)."
+  in
+  let churn_gap_arg =
+    fopt [ "churn-gap-us" ] d.Injector.churn_gap_us
+      "Mean gap between transient space arrivals (us)."
+  in
+  let drop_gap_arg =
+    fopt [ "drop-gap-us" ] d.Injector.drop_gap_us
+      "Mean gap between armed reallocation drops (demand-drop kind, us)."
+  in
+  let action cpus seeds base_seed mode kinds preempt_gap spurious_prob
+      io_fault_prob io_delay cache_fault_prob storm_gap storm_size
+      storm_burst flap_gap flap_hold churn_gap drop_gap =
     let kinds =
       match kinds with
-      | None -> Injector.all_kinds
+      | None -> d.Injector.kinds
       | Some names ->
           List.map
             (fun n ->
@@ -518,13 +583,60 @@ let chaos_cmd =
                   exit 2)
             names
     in
-    let config =
+    let injector =
       {
-        Campaign.default with
-        Campaign.cpus;
-        injector = { Injector.default with Injector.kinds };
+        Injector.kinds;
+        preempt_gap_us = preempt_gap;
+        spurious_prob;
+        io_fault_prob;
+        io_delay = Time.us_f io_delay;
+        cache_fault_prob;
+        storm_gap_us = storm_gap;
+        storm_size;
+        storm_burst = Time.us_f storm_burst;
+        flap_gap_us = flap_gap;
+        flap_hold = Time.us_f flap_hold;
+        churn_gap_us = churn_gap;
+        drop_gap_us = drop_gap;
       }
     in
+    (* Every injector knob that differs from the default, as flags — so the
+       printed replay line reproduces the run exactly. *)
+    let injector_flags =
+      let b = Buffer.create 64 in
+      let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      if injector.Injector.kinds <> d.Injector.kinds then
+        add " --inject %s"
+          (String.concat ","
+             (List.map Injector.kind_name injector.Injector.kinds));
+      if injector.Injector.preempt_gap_us <> d.Injector.preempt_gap_us then
+        add " --preempt-gap-us %g" injector.Injector.preempt_gap_us;
+      if injector.Injector.spurious_prob <> d.Injector.spurious_prob then
+        add " --spurious-prob %g" injector.Injector.spurious_prob;
+      if injector.Injector.io_fault_prob <> d.Injector.io_fault_prob then
+        add " --io-fault-prob %g" injector.Injector.io_fault_prob;
+      if injector.Injector.io_delay <> d.Injector.io_delay then
+        add " --io-delay-us %g" (Time.span_to_us injector.Injector.io_delay);
+      if injector.Injector.cache_fault_prob <> d.Injector.cache_fault_prob
+      then add " --cache-fault-prob %g" injector.Injector.cache_fault_prob;
+      if injector.Injector.storm_gap_us <> d.Injector.storm_gap_us then
+        add " --storm-gap-us %g" injector.Injector.storm_gap_us;
+      if injector.Injector.storm_size <> d.Injector.storm_size then
+        add " --storm-size %d" injector.Injector.storm_size;
+      if injector.Injector.storm_burst <> d.Injector.storm_burst then
+        add " --storm-burst-us %g"
+          (Time.span_to_us injector.Injector.storm_burst);
+      if injector.Injector.flap_gap_us <> d.Injector.flap_gap_us then
+        add " --flap-gap-us %g" injector.Injector.flap_gap_us;
+      if injector.Injector.flap_hold <> d.Injector.flap_hold then
+        add " --flap-hold-us %g" (Time.span_to_us injector.Injector.flap_hold);
+      if injector.Injector.churn_gap_us <> d.Injector.churn_gap_us then
+        add " --churn-gap-us %g" injector.Injector.churn_gap_us;
+      if injector.Injector.drop_gap_us <> d.Injector.drop_gap_us then
+        add " --drop-gap-us %g" injector.Injector.drop_gap_us;
+      Buffer.contents b
+    in
+    let config = { Campaign.default with Campaign.cpus; injector } in
     let modes =
       match mode with
       | `Both -> [ Kconfig.Explicit_allocation; Kconfig.Native_oblivious ]
@@ -547,10 +659,11 @@ let chaos_cmd =
       List.iter
         (fun r ->
           Printf.printf
-            "replay: sa_sim chaos --seeds 1 --base-seed %d --mode %s --cpus %d\n"
+            "replay: sa_sim chaos --seeds 1 --base-seed %d --mode %s --cpus \
+             %d%s\n"
             r.Campaign.seed
             (Campaign.mode_name r.Campaign.mode)
-            cpus;
+            cpus injector_flags;
           match r.Campaign.outcome with
           | Campaign.Violation msg | Campaign.No_completion msg ->
               print_newline ();
@@ -563,7 +676,10 @@ let chaos_cmd =
   let term =
     Term.(
       const action $ cpus_arg $ seeds_arg $ base_seed_arg $ mode_arg
-      $ kinds_arg)
+      $ kinds_arg $ preempt_gap_arg $ spurious_prob_arg $ io_fault_prob_arg
+      $ io_delay_arg $ cache_fault_prob_arg $ storm_gap_arg $ storm_size_arg
+      $ storm_burst_arg $ flap_gap_arg $ flap_hold_arg $ churn_gap_arg
+      $ drop_gap_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -572,6 +688,354 @@ let chaos_cmd =
           I/O, daemon storms, priority flaps, space churn) with runtime \
           invariant checking; any violation replays deterministically from \
           its seed.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explore_cmd =
+  let module Search = Sa_explore.Search in
+  let module Schedule = Sa_explore.Schedule in
+  let module Chooser = Sa_explore.Chooser in
+  let module Shrink = Sa_explore.Shrink in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("server", Search.Server); ("chaos", Search.Chaos) ])
+          Search.Server
+      & info [ "workload" ] ~docv:"W"
+          ~doc:
+            "Workload to explore: $(b,server) (open-arrival server under \
+             fault injection) or $(b,chaos) (the PR-1 chaos campaign \
+             workload).")
+  in
+  let schedules_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:"Perturbed schedules to try (stops at the first violation).")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("walk", `Walk); ("pct", `Pct) ]) `Walk
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "Search strategy: $(b,walk) (uniform over same-instant \
+             permutations) or $(b,pct) (PCT-style priorities plus --depth \
+             change points).")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"D" ~doc:"Change points for the PCT strategy.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Workload/kernel/injector seed of the explored configuration.")
+  in
+  let cpus_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "cpus" ] ~docv:"N" ~doc:"Number of simulated processors.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Requests in the server workload.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "horizon-ms" ] ~docv:"MS"
+          ~doc:"Simulated-time budget per run (milliseconds).")
+  in
+  let no_inject_arg =
+    Arg.(
+      value & flag
+      & info [ "no-inject" ]
+          ~doc:"Disable fault injection in the server workload.")
+  in
+  let inject_kinds_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "inject" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated injector kinds (as for $(b,sa_sim chaos)).  \
+             Name $(b,demand-drop) here to seed a findable \
+             lost-reallocation violation.  Default: every survivable kind.")
+  in
+  let drop_gap_arg =
+    Arg.(
+      value
+      & opt float Sa_fault.Injector.default.Sa_fault.Injector.drop_gap_us
+      & info [ "drop-gap-us" ] ~docv:"X"
+          ~doc:"Mean gap between armed reallocation drops (us).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-drive the run recorded in $(docv) (strict mode) and check \
+             its digest instead of searching.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "On a violation, ddmin the schedule's divergence set to a \
+             minimal failing .sched and emit a Chrome trace of the minimal \
+             run.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for emitted .sched and trace files.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Save the baseline (default-chooser) schedule to $(docv).")
+  in
+  let outcome_line (r : Search.run_result) =
+    match r.Search.outcome with
+    | Search.Completed -> "ok"
+    | Search.Violation m -> "VIOLATION " ^ Shrink.violation_key m
+    | Search.No_completion m ->
+        "no-completion "
+        ^ (match String.index_opt m '\n' with
+          | Some i -> String.sub m 0 i
+          | None -> m)
+  in
+  let schedule_meta spec strategy sseed (r : Search.run_result) =
+    Search.meta_of_spec spec ~strategy
+    @ [
+        ("sseed", string_of_int sseed);
+        ("digest", r.Search.digest);
+        ("outcome", Search.outcome_name r.Search.outcome);
+      ]
+  in
+  let do_replay file =
+    let sched = Schedule.load file in
+    let spec = Search.spec_of_meta sched.Schedule.meta in
+    Printf.printf "replay %s: workload=%s seed=%d cpus=%d decisions=%d\n"
+      file
+      (Search.workload_name spec.Search.workload)
+      spec.Search.seed spec.Search.cpus (Schedule.length sched);
+    match Search.replay ~mode:Chooser.Strict spec sched with
+    | r, consumed ->
+        Printf.printf "outcome: %s\ndigest:  %s\n" (outcome_line r)
+          r.Search.digest;
+        if consumed <> Schedule.length sched then begin
+          Printf.printf
+            "replay FAILED: run consumed %d of %d recorded decisions\n"
+            consumed (Schedule.length sched);
+          exit 1
+        end;
+        (match Schedule.meta_find sched "digest" with
+        | Some recorded when recorded = r.Search.digest ->
+            print_endline
+              "replay: digest matches the recorded run — deterministic"
+        | Some recorded ->
+            Printf.printf
+              "replay FAILED: digest %s differs from recorded %s\n"
+              r.Search.digest recorded;
+            exit 1
+        | None ->
+            print_endline "replay: no recorded digest to compare (ok)")
+    | exception Chooser.Divergence { at; reason } ->
+        Printf.printf
+          "replay FAILED: diverged at decision %d: %s\n\
+           (schedule does not match this workload/build — edited or \
+           corrupted file?)\n"
+          at reason;
+        exit 1
+  in
+  let do_explore spec strategy schedules do_shrink out save =
+    Printf.printf "explore: workload=%s strategy=%s schedules=%d seed=%d \
+                   cpus=%d inject=%b\n"
+      (Search.workload_name spec.Search.workload)
+      (Search.strategy_name strategy)
+      schedules spec.Search.seed spec.Search.cpus spec.Search.inject;
+    let report =
+      Search.explore
+        ~on_run:(fun i r ->
+          Printf.printf "  #%03d %-14s digest=%s adjacencies=%d\n" i
+            (Search.outcome_name r.Search.outcome)
+            r.Search.digest
+            (List.length r.Search.adjacencies))
+        ~strategy ~schedules spec
+    in
+    let base = report.Search.baseline in
+    Printf.printf "baseline: %s digest=%s decisions=%d (%d ordering picks)\n"
+      (outcome_line base) base.Search.digest
+      (Schedule.length report.Search.baseline_sched)
+      (Schedule.picks report.Search.baseline_sched);
+    (match save with
+    | Some file ->
+        Schedule.save file
+          (Schedule.with_meta report.Search.baseline_sched
+             (schedule_meta spec "default" spec.Search.seed base));
+        Printf.printf "saved baseline schedule: %s\n" file
+    | None -> ());
+    Printf.printf
+      "%d perturbed runs: %d violations, %d no-completions, %d distinct \
+       digests\n"
+      report.Search.runs report.Search.violations
+      report.Search.no_completions report.Search.distinct_digests;
+    Printf.printf "coverage: %d/%d Table-2 upcall adjacencies: %s\n"
+      (List.length report.Search.coverage)
+      Search.all_adjacencies
+      (String.concat ", "
+         (List.map
+            (fun (a, b) -> Printf.sprintf "%s>%s" a b)
+            report.Search.coverage));
+    match report.Search.failing with
+    | None -> Printf.printf "no violation found in %d schedules\n" report.Search.runs
+    | Some (sseed, r, sched) ->
+        let key =
+          match r.Search.outcome with
+          | Search.Violation m -> Shrink.violation_key m
+          | _ -> assert false
+        in
+        Printf.printf "VIOLATION (strategy seed %d): %s\n" sseed key;
+        let sched =
+          Schedule.with_meta sched
+            (schedule_meta spec (Search.strategy_name strategy) sseed r
+            @ [ ("violation", key) ])
+        in
+        let failing_path = Filename.concat out "explore-failing.sched" in
+        Schedule.save failing_path sched;
+        Printf.printf "failing schedule: %s (%d decisions, %d divergences)\n"
+          failing_path (Schedule.length sched)
+          (List.length (Schedule.divergences sched));
+        if do_shrink then begin
+          match Shrink.shrink ~spec sched with
+          | Error e ->
+              Printf.printf "shrink FAILED: %s\n" e;
+              exit 1
+          | Ok s ->
+              Printf.printf
+                "shrunk: %d -> %d divergences (%d dropped) in %d test \
+                 replays\n"
+                (s.Shrink.kept + s.Shrink.dropped)
+                s.Shrink.kept s.Shrink.dropped s.Shrink.tests;
+              let minimal =
+                Schedule.with_meta s.Shrink.schedule
+                  (schedule_meta spec
+                     (Search.strategy_name strategy ^ "+ddmin")
+                     sseed s.Shrink.run
+                  @ [ ("violation", s.Shrink.key) ])
+              in
+              let minimal_path =
+                Filename.concat out "explore-minimal.sched"
+              in
+              Schedule.save minimal_path minimal;
+              Printf.printf "minimal schedule: %s (%d divergences)\n"
+                minimal_path
+                (List.length (Schedule.divergences minimal));
+              (* Cross-check: strict replay of the minimal schedule must
+                 reproduce the violation bit-for-bit; stream it as a
+                 Chrome trace while we are at it. *)
+              let trace_path =
+                Filename.concat out "explore-minimal.trace.json"
+              in
+              let oc = open_out trace_path in
+              let w = Trace_export.create ~out:(output_string oc) in
+              (match
+                 Search.replay ~mode:Chooser.Strict
+                   ~trace_sink:(Trace_export.feed w) spec minimal
+               with
+              | vr, _ ->
+                  Trace_export.close w;
+                  close_out oc;
+                  Printf.printf "minimal-run trace: %s\n" trace_path;
+                  if vr.Search.digest = s.Shrink.run.Search.digest then
+                    Printf.printf
+                      "verified: minimal schedule replays the same \
+                       violation deterministically (digest %s)\n"
+                      vr.Search.digest
+                  else begin
+                    Printf.printf
+                      "verification FAILED: replay digest %s differs from \
+                       %s\n"
+                      vr.Search.digest s.Shrink.run.Search.digest;
+                    exit 1
+                  end
+              | exception Chooser.Divergence { at; reason } ->
+                  Trace_export.close w;
+                  close_out oc;
+                  Printf.printf
+                    "verification FAILED: minimal schedule diverged at %d: \
+                     %s\n"
+                    at reason;
+                  exit 1)
+        end
+  in
+  let action workload schedules strategy depth seed cpus requests horizon_ms
+      no_inject inject_kinds drop_gap replay_file do_shrink out save =
+    match replay_file with
+    | Some file -> do_replay file
+    | None ->
+        let inject_kinds =
+          match inject_kinds with
+          | None -> Search.default_spec.Search.inject_kinds
+          | Some names ->
+              List.map
+                (fun n ->
+                  match Sa_fault.Injector.kind_of_name n with
+                  | Some k -> k
+                  | None ->
+                      Printf.eprintf "unknown injector kind %S\n" n;
+                      exit 2)
+                names
+        in
+        let spec =
+          {
+            Search.workload;
+            seed;
+            cpus;
+            requests;
+            horizon = Time.ms horizon_ms;
+            inject = not no_inject;
+            inject_kinds;
+            drop_gap_us = drop_gap;
+          }
+        in
+        let strategy =
+          match strategy with
+          | `Walk -> Search.Walk
+          | `Pct -> Search.Pct depth
+        in
+        do_explore spec strategy schedules do_shrink out save
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ schedules_arg $ strategy_arg $ depth_arg
+      $ seed_arg $ cpus_arg $ requests_arg $ horizon_arg $ no_inject_arg
+      $ inject_kinds_arg $ drop_gap_arg $ replay_arg $ shrink_arg $ out_arg
+      $ save_arg)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Search the schedule space of a seeded workload: every source of \
+          schedule nondeterminism (same-instant event ordering, injector \
+          draws, allocator rotation, I/O completion ordering) is a recorded \
+          choice point.  Runs record to compact .sched files, replay \
+          bit-for-bit, and a failing schedule is ddmin-shrunk to a minimal \
+          deterministic reproducer.")
     term
 
 let () =
@@ -592,4 +1056,5 @@ let () =
             report_cmd;
             trace_cmd;
             chaos_cmd;
+            explore_cmd;
           ]))

@@ -127,6 +127,43 @@ let peek_key q =
   drain_dead q;
   if q.size = 0 then None else Some (q.heap.(0).key, q.heap.(0).seq)
 
+(* Pop a live entry chosen among those sharing the minimal key.  After
+   [drain_dead] the root is the live minimum by (key, seq), so it is always
+   candidate 0 in seq order and a constant-0 picker reproduces [pop]
+   exactly.  A non-root choice is marked [`Popped] in place and counted as
+   dead, exactly like a cancellation, so the existing lazy-deletion and
+   compaction machinery applies unchanged. *)
+let pop_pick q ~pick =
+  drain_dead q;
+  if q.size = 0 then None
+  else begin
+    let kmin = q.heap.(0).key in
+    let cands = ref [] in
+    for i = q.size - 1 downto 0 do
+      let e = q.heap.(i) in
+      if e.state = `Live && e.key = kmin then cands := e :: !cands
+    done;
+    let cands =
+      List.sort (fun a b -> compare a.seq b.seq) !cands
+    in
+    let n = List.length cands in
+    let i =
+      if n <= 1 then 0
+      else
+        let i = pick n in
+        if i < 0 || i >= n then 0 else i
+    in
+    let e = List.nth cands i in
+    if e == q.heap.(0) then ignore (pop_root q)
+    else begin
+      e.state <- `Popped;
+      q.dead <- q.dead + 1;
+      maybe_compact q
+    end;
+    e.state <- `Popped;
+    Some (e.key, e.seq, e.value)
+  end
+
 let remove q e =
   if e.state = `Live then begin
     e.state <- `Cancelled;

@@ -36,6 +36,15 @@ val pop : 'a t -> (int * int * 'a) option
 val peek_key : 'a t -> (int * int) option
 (** Priority of the entry [pop] would return, without removing it. *)
 
+val pop_pick : 'a t -> pick:(int -> int) -> (int * int * 'a) option
+(** [pop_pick q ~pick] removes and returns a live entry with the smallest
+    [key], selected by [pick] among the [n >= 2] candidates sharing that key
+    (listed in ascending [seq] order).  Candidate 0 is the entry {!pop}
+    would return, so [pick = fun _ -> 0] reproduces {!pop}; out-of-range
+    picks are clamped to 0.  [pick] is not consulted when only one candidate
+    exists.  O(heap size) per call — intended for schedule exploration, not
+    the default hot path. *)
+
 val remove : 'a t -> 'a entry -> unit
 (** Cancels an entry.  Idempotent; no effect if already popped. *)
 

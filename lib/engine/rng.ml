@@ -1,4 +1,7 @@
-type t = { mutable state : int64 }
+type t = {
+  mutable state : int64;
+  mutable hook : (int64 -> int64) option;
+}
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -7,14 +10,19 @@ let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed = { state = mix64 (Int64.of_int seed) }
-let copy t = { state = t.state }
+let create seed = { state = mix64 (Int64.of_int seed); hook = None }
+let copy t = { state = t.state; hook = t.hook }
 
+(* The state advances identically whether or not a hook is installed, so an
+   interposed generator stays on the same underlying trajectory — each
+   override is an independent decision, not a fork of the stream. *)
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+  let v = mix64 t.state in
+  match t.hook with None -> v | Some h -> h v
 
-let split t = { state = mix64 (bits64 t) }
+let split t = { state = mix64 (bits64 t); hook = t.hook }
+let interpose t h = t.hook <- h
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

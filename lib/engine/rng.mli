@@ -21,6 +21,15 @@ val split : t -> t
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 
+val interpose : t -> (int64 -> int64) option -> unit
+(** Install (or clear) an output interposition hook: every draw passes its
+    raw 64 bits through the hook, whose result is what callers see.  The
+    internal state advances identically either way, so each override is an
+    isolated decision that does not fork the underlying stream.  Hooks are
+    inherited by {!split} and {!copy}.  Used by schedule exploration to
+    expose RNG draws as recordable choice points; an identity hook (or none)
+    reproduces the unhooked stream exactly. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument] if
     [bound <= 0]. *)

@@ -1,5 +1,10 @@
 type handle = (unit -> unit) Pqueue.entry
 
+type chooser = {
+  ch_pick : site:string -> arity:int -> default:int -> int;
+  ch_draw : site:string -> default:int64 -> int64;
+}
+
 type t = {
   mutable clock : Time.t;
   queue : (unit -> unit) Pqueue.t;
@@ -7,6 +12,7 @@ type t = {
   trace : Trace.t;
   mutable same_instant : int;  (* events fired without the clock moving *)
   mutable same_instant_limit : int;
+  mutable chooser : chooser option;
 }
 
 exception Stalled of string
@@ -20,11 +26,25 @@ let create ?trace () =
     trace;
     same_instant = 0;
     same_instant_limit = 200_000;
+    chooser = None;
   }
 
 let now t = t.clock
 let trace t = t.trace
 let same_instant_count t = t.same_instant
+let set_chooser t c = t.chooser <- c
+let chooser t = t.chooser
+
+let pick t ~site ~arity ~default =
+  if arity <= 0 then invalid_arg "Sim.pick: arity must be positive";
+  match t.chooser with
+  | None -> default
+  | Some c ->
+      let i = c.ch_pick ~site ~arity ~default in
+      if i < 0 || i >= arity then default else i
+
+let draw t ~site ~default =
+  match t.chooser with None -> default | Some c -> c.ch_draw ~site ~default
 
 let schedule t ~at f =
   if Time.compare at t.clock < 0 then
@@ -41,8 +61,20 @@ let set_same_instant_limit t n =
   if n <= 0 then invalid_arg "Sim.set_same_instant_limit";
   t.same_instant_limit <- n
 
+(* With no chooser installed this is exactly [Pqueue.pop]; with one, the
+   chooser selects among same-instant candidates ([Pqueue.pop_pick] only
+   consults it when at least two exist, so arity-1 "choices" never reach a
+   recorder). *)
+let pop_next t =
+  match t.chooser with
+  | None -> Pqueue.pop t.queue
+  | Some c ->
+      Pqueue.pop_pick t.queue ~pick:(fun n ->
+          let i = c.ch_pick ~site:"sim-order" ~arity:n ~default:0 in
+          if i < 0 || i >= n then 0 else i)
+
 let step t =
-  match Pqueue.pop t.queue with
+  match pop_next t with
   | None -> false
   | Some (key, _seq, f) ->
       let at = Time.of_ns key in

@@ -66,3 +66,40 @@ val set_same_instant_limit : t -> int -> unit
     advancing (default 200,000), the simulation raises {!Stalled} — a
     zero-delay event loop would otherwise hang the process while simulated
     time stands still. *)
+
+(** {1 Choice points}
+
+    Every source of schedule nondeterminism in the system funnels through a
+    single optional {!chooser}, so exploration tools can record, replay and
+    perturb the full decision sequence of a run.  With no chooser installed
+    ({!set_chooser}[ t None], the default) every choice point returns its
+    [default] and the run is bit-for-bit identical to the pre-chooser
+    behaviour. *)
+
+type chooser = {
+  ch_pick : site:string -> arity:int -> default:int -> int;
+      (** [ch_pick ~site ~arity ~default] selects one of [arity >= 2]
+          alternatives at the named choice point; [default] reproduces the
+          unperturbed behaviour.  Out-of-range results are treated as
+          [default]. *)
+  ch_draw : site:string -> default:int64 -> int64;
+      (** [ch_draw ~site ~default] may override a raw 64-bit random draw;
+          [default] is the value the underlying generator produced. *)
+}
+
+val set_chooser : t -> chooser option -> unit
+(** Install (or clear) the chooser.  While installed, same-instant event
+    ordering in {!step} is routed through [ch_pick] at site ["sim-order"]
+    (candidates in FIFO order, so choice 0 is today's behaviour), and
+    components consult {!pick}/{!draw} at their own sites. *)
+
+val chooser : t -> chooser option
+
+val pick : t -> site:string -> arity:int -> default:int -> int
+(** [pick t ~site ~arity ~default] consults the installed chooser, or
+    returns [default] if none (or if the chooser's answer is out of range).
+    Raises [Invalid_argument] if [arity <= 0]. *)
+
+val draw : t -> site:string -> default:int64 -> int64
+(** [draw t ~site ~default] consults the installed chooser's [ch_draw], or
+    returns [default] if none. *)

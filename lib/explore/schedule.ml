@@ -1,0 +1,161 @@
+type decision =
+  | Pick of { site : string; arity : int; default : int; choice : int }
+  | Draw of { site : string; default : int64; value : int64 }
+
+type t = {
+  meta : (string * string) list;
+  decisions : decision array;
+}
+
+let empty = { meta = []; decisions = [||] }
+let length t = Array.length t.decisions
+
+let picks t =
+  Array.fold_left
+    (fun acc d -> match d with Pick _ -> acc + 1 | Draw _ -> acc)
+    0 t.decisions
+
+let divergent = function
+  | Pick p -> p.choice <> p.default
+  | Draw d -> not (Int64.equal d.value d.default)
+
+let divergences t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i d -> if divergent d then acc := i :: !acc)
+    t.decisions;
+  List.rev !acc
+
+let meta_find t key = List.assoc_opt key t.meta
+let with_meta t meta = { t with meta }
+
+let pp_decision ppf = function
+  | Pick p ->
+      Format.fprintf ppf "pick %s arity=%d default=%d choice=%d" p.site
+        p.arity p.default p.choice
+  | Draw d ->
+      Format.fprintf ppf "draw %s default=%Lx value=%Lx" d.site d.default
+        d.value
+
+(* --- saving ----------------------------------------------------------- *)
+
+let sanitize s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "sa-sched 1\n";
+      List.iter
+        (fun (k, v) ->
+          Printf.fprintf oc "m %s %s\n" (sanitize k) (sanitize v))
+        t.meta;
+      (* Intern site names in order of first use. *)
+      let sites = Hashtbl.create 16 in
+      let order = ref [] in
+      let site_id s =
+        match Hashtbl.find_opt sites s with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length sites in
+            Hashtbl.replace sites s id;
+            order := (id, s) :: !order;
+            id
+      in
+      let lines =
+        Array.map
+          (function
+            | Pick p ->
+                Printf.sprintf "p %d %d %d %d" (site_id p.site) p.arity
+                  p.default p.choice
+            | Draw d ->
+                Printf.sprintf "d %d %Lx %Lx" (site_id d.site) d.default
+                  d.value)
+          t.decisions
+      in
+      List.iter
+        (fun (id, s) -> Printf.fprintf oc "s %d %s\n" id s)
+        (List.rev !order);
+      Array.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+      output_string oc ".\n")
+
+(* --- loading ---------------------------------------------------------- *)
+
+let fail_line n msg = failwith (Printf.sprintf "Schedule.load: line %d: %s" n msg)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lineno = ref 0 in
+      let next () =
+        match input_line ic with
+        | l ->
+            incr lineno;
+            Some l
+        | exception End_of_file -> None
+      in
+      (match next () with
+      | Some "sa-sched 1" -> ()
+      | Some l -> fail_line 1 (Printf.sprintf "bad magic %S" l)
+      | None -> fail_line 0 "empty file");
+      let meta = ref [] in
+      let sites : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      let decisions = ref [] in
+      let terminated = ref false in
+      let site id =
+        match Hashtbl.find_opt sites id with
+        | Some s -> s
+        | None -> fail_line !lineno (Printf.sprintf "unknown site %d" id)
+      in
+      let int_of s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> fail_line !lineno (Printf.sprintf "bad integer %S" s)
+      in
+      let hex_of s =
+        match Int64.of_string_opt ("0x" ^ s) with
+        | Some v -> v
+        | None -> fail_line !lineno (Printf.sprintf "bad hex %S" s)
+      in
+      let rec loop () =
+        match next () with
+        | None -> ()
+        | Some "." -> terminated := true
+        | Some line ->
+            (match String.split_on_char ' ' line with
+            | "m" :: key :: rest ->
+                meta := (key, String.concat " " rest) :: !meta
+            | [ "s"; id; name ] -> Hashtbl.replace sites (int_of id) name
+            | [ "p"; sid; arity; default; choice ] ->
+                let arity = int_of arity
+                and default = int_of default
+                and choice = int_of choice in
+                if arity < 1 || default < 0 || default >= arity || choice < 0
+                   || choice >= arity
+                then fail_line !lineno "pick out of range";
+                decisions :=
+                  Pick { site = site (int_of sid); arity; default; choice }
+                  :: !decisions
+            | [ "d"; sid; default; value ] ->
+                decisions :=
+                  Draw
+                    {
+                      site = site (int_of sid);
+                      default = hex_of default;
+                      value = hex_of value;
+                    }
+                  :: !decisions
+            | _ -> fail_line !lineno (Printf.sprintf "unparseable %S" line));
+            loop ()
+      in
+      loop ();
+      if not !terminated then
+        fail_line !lineno "missing terminator (truncated file?)";
+      {
+        meta = List.rev !meta;
+        decisions = Array.of_list (List.rev !decisions);
+      })

@@ -109,7 +109,7 @@ let synth_program rng ~blocks =
 let cache_capacity = 32
 let cache_blocks = 64
 
-let run_seed ?(config = default) ~mode seed =
+let run_seed ?(config = default) ?(on_system = fun _ -> ()) ~mode seed =
   let kcfg =
     {
       Kconfig.default with
@@ -121,6 +121,10 @@ let run_seed ?(config = default) ~mode seed =
     }
   in
   let sys = System.create ~cpus:config.cpus ~kconfig:kcfg () in
+  (* Observation hook: runs before any job is submitted or injector
+     attached, so exploration can install a chooser/trace sink that sees
+     the whole run. *)
+  on_system sys;
   let rng = Rng.create (seed lxor 0x5eed) in
   let app_backend =
     match mode with

@@ -40,10 +40,18 @@ type result = {
 
 val mode_name : Kconfig.mode -> string
 
-val run_seed : ?config:config -> mode:Kconfig.mode -> int -> result
+val run_seed :
+  ?config:config ->
+  ?on_system:(Sa.System.t -> unit) ->
+  mode:Kconfig.mode ->
+  int ->
+  result
 (** Run one seed.  The entire trajectory — workload shape, injection
     schedule, scheduling decisions — is a pure function of
-    [(seed, mode, config)]. *)
+    [(seed, mode, config)].  [on_system] (default a no-op) observes the
+    freshly created system before jobs are submitted or hooks attached —
+    schedule exploration uses it to install a chooser and trace sinks that
+    see the whole run. *)
 
 val run_sweep :
   ?config:config ->

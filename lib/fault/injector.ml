@@ -6,9 +6,21 @@ module Io_device = Sa_hw.Io_device
 module Buffer_cache = Sa_hw.Buffer_cache
 module System = Sa.System
 
-type kind = Preempt | Io_faults | Daemon_storm | Priority_flap | Space_churn
+type kind =
+  | Preempt
+  | Io_faults
+  | Daemon_storm
+  | Priority_flap
+  | Space_churn
+  | Demand_drop
 
-let all_kinds = [ Preempt; Io_faults; Daemon_storm; Priority_flap; Space_churn ]
+(* The five survivable kinds the system is expected to absorb; Demand_drop
+   is a genuine bug seed (a lost reallocation request) and is therefore
+   opt-in, never part of the default mix. *)
+let survivable_kinds =
+  [ Preempt; Io_faults; Daemon_storm; Priority_flap; Space_churn ]
+
+let all_kinds = survivable_kinds @ [ Demand_drop ]
 
 let kind_name = function
   | Preempt -> "preempt"
@@ -16,6 +28,7 @@ let kind_name = function
   | Daemon_storm -> "daemon-storm"
   | Priority_flap -> "priority-flap"
   | Space_churn -> "space-churn"
+  | Demand_drop -> "demand-drop"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -32,11 +45,12 @@ type config = {
   flap_gap_us : float;
   flap_hold : Time.span;
   churn_gap_us : float;
+  drop_gap_us : float;
 }
 
 let default =
   {
-    kinds = all_kinds;
+    kinds = survivable_kinds;
     preempt_gap_us = 300.0;
     spurious_prob = 0.15;
     io_fault_prob = 0.2;
@@ -48,6 +62,7 @@ let default =
     flap_gap_us = 2_000.0;
     flap_hold = Time.ms 1;
     churn_gap_us = 4_000.0;
+    drop_gap_us = 2_000.0;
   }
 
 type t = {
@@ -60,6 +75,10 @@ type t = {
   mutable n_storms : int;
   mutable n_flaps : int;
   mutable n_churns : int;
+  mutable n_drops : int;
+  mutable detached : bool;
+  mutable cleanups : (unit -> unit) list;
+      (* uninstallers for the kernel/cache/device hooks this injector set *)
 }
 
 let injected t =
@@ -71,9 +90,12 @@ let injected t =
     ("daemon-storm", t.n_storms);
     ("priority-flap", t.n_flaps);
     ("space-churn", t.n_churns);
+    ("demand-drop", t.n_drops);
   ]
 
-let active t = List.exists (fun j -> not (System.finished j)) (System.jobs t.sys)
+let active t =
+  (not t.detached)
+  && List.exists (fun j -> not (System.finished j)) (System.jobs t.sys)
 
 (* A recurring injector: exponentially-distributed gaps from a private
    stream, stopping by itself once every job has finished (so the
@@ -108,6 +130,8 @@ let install_preempt t rng =
 let install_io_faults t rng =
   let kern = System.kernel t.sys in
   let prob = t.cfg.io_fault_prob in
+  t.cleanups <-
+    (fun () -> Kernel.set_io_fault_injector kern None) :: t.cleanups;
   Kernel.set_io_fault_injector kern
     (Some
        (fun () ->
@@ -126,6 +150,8 @@ let install_io_faults t rng =
       (match System.cache job with
       | Some cache ->
           let crng = Rng.split rng in
+          t.cleanups <-
+            (fun () -> Buffer_cache.set_chaos_hook cache None) :: t.cleanups;
           Buffer_cache.set_chaos_hook cache
             (Some
                (fun () ->
@@ -139,6 +165,8 @@ let install_io_faults t rng =
       with
       | Some dev ->
           let drng = Rng.split rng in
+          t.cleanups <-
+            (fun () -> Io_device.set_fault_hook dev None) :: t.cleanups;
           Io_device.set_fault_hook dev
             (Some
                (fun () ->
@@ -191,6 +219,16 @@ let install_priority_flap t rng =
           (Sim.schedule_after sim ~delay:t.cfg.flap_hold (fun () ->
                Kernel.set_space_priority kern sp 0)))
 
+(* --- Demand_drop: lost reallocation requests (a seeded bug) ----------- *)
+
+let install_demand_drop t rng =
+  let kern = System.kernel t.sys in
+  t.cleanups <-
+    (fun () -> Kernel.set_chaos_realloc_drop kern false) :: t.cleanups;
+  recurring t rng ~mean_us:t.cfg.drop_gap_us (fun () ->
+      t.n_drops <- t.n_drops + 1;
+      Kernel.set_chaos_realloc_drop kern true)
+
 (* --- Space_churn: transient address spaces -------------------------- *)
 
 let install_space_churn t rng =
@@ -225,20 +263,39 @@ let attach ?(config = default) ~seed sys =
       n_storms = 0;
       n_flaps = 0;
       n_churns = 0;
+      n_drops = 0;
+      detached = false;
+      cleanups = [];
     }
   in
   (* One independent stream per kind, split in a fixed order so enabling or
-     disabling one kind does not shift the draws of another. *)
+     disabling one kind does not shift the draws of another.  Each stream is
+     interposed on the simulation's chooser so its draws become recordable
+     choice points (the hook is inherited by the cache/device sub-streams
+     split from it); with no chooser installed the hook is an identity. *)
   let root = Rng.create seed in
+  let sim = System.sim sys in
   let streams = List.map (fun k -> (k, Rng.split root)) all_kinds in
   List.iter
     (fun (k, rng) ->
-      if List.mem k config.kinds then
+      if List.mem k config.kinds then begin
+        let site = "inject:" ^ kind_name k in
+        Rng.interpose rng
+          (Some (fun default -> Sim.draw sim ~site ~default));
         match k with
         | Preempt -> install_preempt t rng
         | Io_faults -> install_io_faults t rng
         | Daemon_storm -> install_daemon_storm t rng
         | Priority_flap -> install_priority_flap t rng
-        | Space_churn -> install_space_churn t rng)
+        | Space_churn -> install_space_churn t rng
+        | Demand_drop -> install_demand_drop t rng
+      end)
     streams;
   t
+
+let detach t =
+  if not t.detached then begin
+    t.detached <- true;
+    List.iter (fun restore -> restore ()) t.cleanups;
+    t.cleanups <- []
+  end

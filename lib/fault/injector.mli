@@ -23,7 +23,19 @@ type kind =
   | Daemon_storm  (** bursts of short-lived high-priority kernel threads *)
   | Priority_flap  (** transient space-priority boosts *)
   | Space_churn  (** transient address spaces arriving and departing *)
+  | Demand_drop
+      (** lost reallocation requests — a {e seeded bug}, not a survivable
+          fault: the kernel discards a deferred allocator pass, and demand
+          raised before it stays unserved until some later event
+          re-triggers the allocator.  Off by default; enable it to give
+          schedule exploration a real, interleaving-sensitive violation to
+          find (the work-conservation invariant catches the starvation). *)
 
+val survivable_kinds : kind list
+(** The five fault kinds the system is expected to absorb — the default
+    mix. *)
+
+(** {!survivable_kinds} plus {!Demand_drop}. *)
 val all_kinds : kind list
 val kind_name : kind -> string
 val kind_of_name : string -> kind option
@@ -42,19 +54,31 @@ type config = {
   flap_gap_us : float;  (** mean gap between priority flaps *)
   flap_hold : Time.span;  (** how long a boosted priority is held *)
   churn_gap_us : float;  (** mean gap between space arrivals *)
+  drop_gap_us : float;
+      (** mean gap between armed reallocation drops ({!Demand_drop}) *)
 }
 
 val default : config
 (** Aggressive enough to preempt several times per millisecond of simulated
-    time and fault a noticeable fraction of I/O completions. *)
+    time and fault a noticeable fraction of I/O completions.  [kinds] is
+    {!survivable_kinds}: the {!Demand_drop} bug seed must be opted into. *)
 
 type t
 
 val attach : ?config:config -> seed:int -> Sa.System.t -> t
 (** Install the configured injectors.  Call {b after} submitting every job:
     the injector snapshots the job list to find target spaces and caches.
-    Hooks installed on the kernel and on each job's cache/device remain in
-    place for the system's lifetime. *)
+    Hooks installed on the kernel and on each job's cache/device stay in
+    place until {!detach}. *)
+
+val detach : t -> unit
+(** Stop injecting: recurring injector ticks become no-ops, and the
+    kernel/cache/device fault hooks installed by {!attach} are restored to
+    [None].  Chaos events already scheduled (e.g. a pending priority-flap
+    restore) still fire, so transient state is unwound rather than leaked.
+    Idempotent.  Exploration harnesses re-run many configurations against
+    fresh systems in one process; detach keeps a finished system's hooks
+    from outliving its run. *)
 
 val injected : t -> (string * int) list
 (** Events injected so far, by kind name (for reports). *)

@@ -159,6 +159,9 @@ and t = {
   mutable st_spurious_fired : int;
   mutable st_spurious_dropped : int;
   mutable st_chaos_preempts : int;
+  mutable chaos_realloc_drop : bool;
+      (* armed by the fault injector: the next deferred reallocation pass
+         is silently discarded, modelling a lost reallocation request *)
   mutable io_fault_hook : (unit -> io_fault option) option;
   io_inflight : (int, unit -> unit) Hashtbl.t;
       (* outstanding I/O completions by request id, each a guarded
@@ -229,12 +232,26 @@ let trace_downcall t ?cpu ?space ?act name =
 let defer t f = ignore (Sim.schedule_after t.sim ~delay:0 f)
 
 let set_io_fault_injector t hook = t.io_fault_hook <- hook
+let set_chaos_realloc_drop t armed = t.chaos_realloc_drop <- armed
 let io_inflight_count t = Hashtbl.length t.io_inflight
 
 (* Retry backoff for transiently failed I/O completions: doubling from the
    floor, capped so a fault streak cannot push a wakeup past the horizon. *)
 let io_backoff_floor = Time.us 200
 let io_backoff_cap = Time.ms 10
+
+(* Under exploration the chooser may defer a ready completion by up to two
+   zero-delay event-loop turns, letting other same-instant events (upcalls,
+   preemptions, spurious completions) interleave ahead of the wakeup.  The
+   default of 0 hops fires synchronously — the pre-chooser behaviour. *)
+let io_defer_arity = 3
+
+let rec io_deliver t ~hops fire =
+  if hops <= 0 then fire ()
+  else
+    ignore
+      (Sim.schedule_after t.sim ~delay:0 (fun () ->
+           io_deliver t ~hops:(hops - 1) fire))
 
 (* Chaos-aware I/O completion.  The wake closure is guarded to fire at most
    once: a spurious completion injected early absorbs the real completion
@@ -263,7 +280,11 @@ let schedule_io_completion t ~io wake =
                match t.io_fault_hook with None -> None | Some h -> h ()
              in
              match fault with
-             | None -> fire ()
+             | None ->
+                 io_deliver t fire
+                   ~hops:
+                     (Sim.pick t.sim ~site:"io-complete"
+                        ~arity:io_defer_arity ~default:0)
              | Some (Io_delay extra) ->
                  t.st_io_faults <- t.st_io_faults + 1;
                  attempt ~delay:extra ~backoff
@@ -287,7 +308,11 @@ let chaos_spurious_completion t ~pick =
       List.sort compare
         (Hashtbl.fold (fun k _ acc -> k :: acc) t.io_inflight [])
     in
-    let id = List.nth keys (((pick mod n) + n) mod n) in
+    let idx = ((pick mod n) + n) mod n in
+    (* The injector's victim choice is itself a schedule decision: an
+       installed chooser may redirect it to any other in-flight request. *)
+    let idx = Sim.pick t.sim ~site:"io-spurious" ~arity:n ~default:idx in
+    let id = List.nth keys idx in
     let fire = Hashtbl.find t.io_inflight id in
     t.st_spurious_fired <- t.st_spurious_fired + 1;
     tracef t "chaos: spurious completion of I/O request %d" id;
@@ -1018,9 +1043,18 @@ let compute_targets t =
       t.spaces
   in
   let targets = Hashtbl.create 8 in
+  (* The remainder rotation is a schedule decision: an installed chooser may
+     advance it by up to one full cycle, permuting which equal-desire space
+     receives the leftover processor this pass. *)
+  let rotation =
+    let n = List.length t.spaces in
+    if n >= 2 then
+      t.rotation + Sim.pick t.sim ~site:"alloc-rotation" ~arity:n ~default:0
+    else t.rotation
+  in
   List.iter
     (fun (id, v) -> Hashtbl.replace targets id v)
-    (Alloc_policy.targets ~cpus:(ncpus t) ~rotation:t.rotation claims);
+    (Alloc_policy.targets ~cpus:(ncpus t) ~rotation claims);
   targets
 
 let preempt_slot_now t sp slot =
@@ -1220,7 +1254,14 @@ let () =
          t.realloc_pending <- true;
          defer t (fun () ->
              t.realloc_pending <- false;
-             do_reallocate t)
+             if t.chaos_realloc_drop then begin
+               (* A lost reallocation request: demand raised before this
+                  pass stays unserved until some later event re-triggers
+                  the allocator. *)
+               t.chaos_realloc_drop <- false;
+               tracef t "chaos: reallocation pass dropped"
+             end
+             else do_reallocate t)
        end);
   schedule_pass_ref :=
     fun t ->
@@ -1345,11 +1386,16 @@ let create sim machine costs cfg =
       st_spurious_fired = 0;
       st_spurious_dropped = 0;
       st_chaos_preempts = 0;
+      chaos_realloc_drop = false;
       io_fault_hook = None;
       io_inflight = Hashtbl.create 32;
       debug_frozen = Hashtbl.create 8;
     }
   in
+  (* Expose the kernel's own draws (native-mode random wakeups) as choice
+     points; with no chooser installed the hook is an identity. *)
+  Rng.interpose t.rng
+    (Some (fun default -> Sim.draw sim ~site:"kernel-rng" ~default));
   if cfg.Kconfig.daemons then start_daemons t;
   t
 

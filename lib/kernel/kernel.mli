@@ -227,6 +227,15 @@ val set_io_fault_injector : t -> (unit -> io_fault option) option -> unit
 val io_inflight_count : t -> int
 (** Timed I/O completions currently outstanding. *)
 
+val set_chaos_realloc_drop : t -> bool -> unit
+(** Arm (or disarm) a lost-reallocation-request fault: the next deferred
+    reallocation pass is silently discarded instead of running.  Demand
+    raised before the dropped pass stays unserved until a later event
+    re-triggers the allocator — in a busy system the loss is usually
+    absorbed, but near quiescence it starves a space, which the
+    work-conservation invariant ([Fault.Invariant]) detects.  Used by the
+    fault injector's [demand-drop] kind. *)
+
 val chaos_spurious_completion : t -> pick:int -> bool
 (** Fire one outstanding I/O completion early — a spurious completion
     interrupt.  The guarded wakeup absorbs the real completion when it

@@ -73,7 +73,7 @@ type summary = {
   makespan_ms : float;  (* first arrival to last completion *)
 }
 
-let summarize recorder p =
+let summarize ?(allow_incomplete = false) recorder p =
   let stamps = Recorder.stamps recorder in
   let arrivals = Hashtbl.create p.requests in
   let samples = Stats.Samples.create () in
@@ -91,7 +91,7 @@ let summarize recorder p =
         | None -> failwith "Server.summarize: completion without arrival"
       end)
     stamps;
-  if !completed <> p.requests then
+  if !completed <> p.requests && not allow_incomplete then
     failwith
       (Printf.sprintf "Server.summarize: %d of %d requests completed"
          !completed p.requests);
@@ -101,12 +101,16 @@ let summarize recorder p =
     | first :: _, last :: _ -> float_of_int (last - first) /. 1e6
     | [], _ | _, [] -> 0.0
   in
+  let pct p =
+    (* A run cut short by a violation may have completed nothing at all. *)
+    if !completed = 0 then Float.nan else Stats.Samples.percentile samples p
+  in
   {
     completed = !completed;
-    mean_us = Stats.Samples.mean samples;
-    p50_us = Stats.Samples.percentile samples 50.0;
-    p95_us = Stats.Samples.percentile samples 95.0;
-    p99_us = Stats.Samples.percentile samples 99.0;
-    max_us = Stats.Samples.percentile samples 100.0;
+    mean_us = (if !completed = 0 then Float.nan else Stats.Samples.mean samples);
+    p50_us = pct 50.0;
+    p95_us = pct 95.0;
+    p99_us = pct 99.0;
+    max_us = pct 100.0;
     makespan_ms;
   }

@@ -42,6 +42,11 @@ type summary = {
   makespan_ms : float;  (** first arrival to last completion *)
 }
 
-val summarize : Recorder.t -> params -> summary
+val summarize : ?allow_incomplete:bool -> Recorder.t -> params -> summary
 (** Pair up arrival/completion stamps into response times.  Raises
-    [Failure] if some requests never completed. *)
+    [Failure] if some requests never completed, unless
+    [allow_incomplete:true] (default false), which instead returns the
+    partial summary over the requests that did complete ([completed] says
+    how many) — chaotic or schedule-explored runs cut short by a violation
+    can still report tail latency.  With zero completions the latency
+    fields are [nan]. *)
