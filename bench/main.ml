@@ -21,7 +21,9 @@
      bench/main.exe table1 figure2  run selected experiments
      bench/main.exe micro           run the Bechamel micro-benchmarks
      bench/main.exe all             paper harness + micro-benchmarks
-     bench/main.exe --json [NAMES]  paper harness (or NAMES) as JSON *)
+     bench/main.exe scale           32/64-CPU, ~10k-thread fork-join stress
+     bench/main.exe --json [NAMES]  paper harness (or NAMES) as JSON
+     bench/main.exe --json scale    scale stress as JSON (wall time on stderr) *)
 
 module E = Sa_metrics.Experiments
 module R = Sa_metrics.Report
@@ -283,6 +285,130 @@ let print_json selected =
   print_string (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
+(* Scale mode: large machines, many threads                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a paper experiment: a fork-join stress run on 32/64-processor
+   machines with ~10k threads, exercising the kernel paths that must stay
+   O(1) (dispatch tables, allocation cursor, idle census) and the
+   user-level ready queues.  Deterministic in simulated time; wall-clock
+   is reported on stderr so the JSON stays reproducible. *)
+
+type scale_row = {
+  sc_cpus : int;
+  sc_threads : int;  (* threads forked (the root included) *)
+  sc_makespan_ms : float;  (* simulated span, submit -> last completion *)
+  sc_throughput : float;  (* completions per simulated second *)
+  sc_steals : int;
+  sc_upcalls : int;
+  sc_dispatches : int;
+  sc_reallocations : int;
+}
+
+let scale_configs = [ (32, 10_000); (64, 10_000) ]
+
+let scale_title =
+  "Scale: fork-join stress, FastThreads on Scheduler Activations (32/64 \
+   CPUs, ~10k threads)"
+
+let scale_one ~cpus ~threads =
+  let module Time = Sa_engine.Time in
+  let module System = Sa.System in
+  let module Kernel = Sa_kernel.Kernel in
+  let module Program = Sa_program.Program in
+  let module Ft_core = Sa_uthread.Ft_core in
+  let sys = System.create ~cpus () in
+  (* Two-level fan-out: the root forks one branch per processor, each
+     branch forks its share of leaves, so forking itself runs in
+     parallel.  Leaves yield mid-compute to exercise the queue
+     disciplines. *)
+  let branches = cpus in
+  let per_branch = threads / branches in
+  let leaf =
+    Program.Build.(
+      to_program
+        (let* () = compute (Time.us 20) in
+         let* () = yield in
+         compute (Time.us 20)))
+  in
+  let branch =
+    Program.Build.(to_program (repeat per_branch (fun _ -> fork_unit leaf)))
+  in
+  let prog =
+    Program.Build.(to_program (repeat branches (fun _ -> fork_unit branch)))
+  in
+  let t0 = Unix.gettimeofday () in
+  let job = System.submit sys ~backend:`Fastthreads_on_sa ~name:"scale" prog in
+  System.run sys;
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let elapsed =
+    match System.elapsed job with Some e -> e | None -> assert false
+  in
+  let st = Kernel.stats (System.kernel sys) in
+  let ft =
+    match System.uthread_stats job with Some s -> s | None -> assert false
+  in
+  let makespan_ms = Time.span_to_ms elapsed in
+  let completed = ft.Ft_core.completions in
+  Printf.eprintf "scale: %d cpus, %d threads: %.1f ms simulated, %.0f ms wall\n%!"
+    cpus completed makespan_ms wall_ms;
+  {
+    sc_cpus = cpus;
+    sc_threads = completed;
+    sc_makespan_ms = makespan_ms;
+    sc_throughput = float_of_int completed /. (makespan_ms /. 1e3);
+    sc_steals = ft.Ft_core.steals;
+    sc_upcalls = st.Kernel.upcalls;
+    sc_dispatches = ft.Ft_core.dispatches;
+    sc_reallocations = st.Kernel.reallocations;
+  }
+
+let run_scale () =
+  List.map (fun (cpus, threads) -> scale_one ~cpus ~threads) scale_configs
+
+let print_scale_json rows =
+  let buf = Buffer.create 1024 in
+  let int n buf = Buffer.add_string buf (string_of_int n) in
+  let fl v buf = add_float buf v in
+  Buffer.add_string buf "{\n";
+  add_json_string buf "scale";
+  Buffer.add_char buf ':';
+  add_fields buf
+    [
+      ("kind", fun buf -> add_json_string buf "scale");
+      ("title", fun buf -> add_json_string buf scale_title);
+      ( "data",
+        fun buf ->
+          add_list buf
+            (fun buf r ->
+              add_fields buf
+                [
+                  ("cpus", int r.sc_cpus);
+                  ("threads", int r.sc_threads);
+                  ("makespan_ms", fl r.sc_makespan_ms);
+                  ("throughput_per_s", fl r.sc_throughput);
+                  ("steals", int r.sc_steals);
+                  ("upcalls", int r.sc_upcalls);
+                  ("dispatches", int r.sc_dispatches);
+                  ("reallocations", int r.sc_reallocations);
+                ])
+            rows );
+    ];
+  Buffer.add_string buf "\n}\n";
+  print_string (Buffer.contents buf)
+
+let print_scale_text rows =
+  Printf.printf "\n%s\n%s\n" scale_title (String.make 78 '-');
+  Printf.printf "%6s %8s %12s %14s %8s %8s %10s %7s\n" "cpus" "threads"
+    "makespan_ms" "thr/sim-sec" "steals" "upcalls" "dispatches" "realloc";
+  List.iter
+    (fun r ->
+      Printf.printf "%6d %8d %12.2f %14.0f %8d %8d %10d %7d\n" r.sc_cpus
+        r.sc_threads r.sc_makespan_ms r.sc_throughput r.sc_steals r.sc_upcalls
+        r.sc_dispatches r.sc_reallocations)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (wall clock)                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -408,6 +534,9 @@ let () =
   let json = List.mem "--json" args in
   let args = List.filter (fun a -> a <> "--json") args in
   if json then begin
+    match args with
+    | [ "scale" ] -> print_scale_json (run_scale ())
+    | _ ->
     let selected =
       match args with
       | [] | [ "paper" ] | [ "all" ] -> experiments
@@ -437,6 +566,7 @@ let () =
                 run_micro ()
             | "paper" -> run_paper ()
             | "micro" -> run_micro ()
+            | "scale" -> print_scale_text (run_scale ())
             | name -> (
                 match find_experiment name with
                 | Some (_, title, run) -> print_result ~title (run ())

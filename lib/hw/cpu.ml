@@ -23,6 +23,9 @@ type t = {
   mutable who : occupant;
   mutable busy_ns : Time.span;
   mutable segments : int;
+  mutable on_busy : bool -> unit;
+      (* fired on every idle<->busy transition, before the continuation of
+         the transition runs; Machine maintains its idle census with it *)
 }
 
 type preempted = {
@@ -32,12 +35,21 @@ type preempted = {
 }
 
 let create sim cpu_id =
-  { sim; cpu_id; running = None; who = Nobody; busy_ns = 0; segments = 0 }
+  {
+    sim;
+    cpu_id;
+    running = None;
+    who = Nobody;
+    busy_ns = 0;
+    segments = 0;
+    on_busy = ignore;
+  }
 
 let id t = t.cpu_id
 let is_busy t = t.running <> None
 let occupant t = t.who
 let set_occupant t who = t.who <- who
+let set_busy_hook t f = t.on_busy <- f
 
 (* Each busy segment becomes one span on this CPU's track. *)
 let segment_label who =
@@ -73,9 +85,11 @@ let begin_work t ~occupant ~length k =
         t.who <- Nobody;
         t.busy_ns <- t.busy_ns + length;
         trace_segment_end t ~who ();
+        t.on_busy false;
         k ())
   in
-  t.running <- Some { started; length; continue = k; event }
+  t.running <- Some { started; length; continue = k; event };
+  t.on_busy true
 
 let preempt t =
   match t.running with
@@ -89,6 +103,7 @@ let preempt t =
       let remaining = seg.length - elapsed in
       t.busy_ns <- t.busy_ns + elapsed;
       trace_segment_end t ~who ~detail:"preempted" ();
+      t.on_busy false;
       Some { elapsed; remaining; resume = seg.continue }
 
 let busy_time t = t.busy_ns

@@ -37,6 +37,13 @@ val occupant : t -> occupant
 val set_occupant : t -> occupant -> unit
 (** Label the CPU without starting a segment (used for idle bookkeeping). *)
 
+val set_busy_hook : t -> (bool -> unit) -> unit
+(** Install the observer fired at every idle<->busy transition ([true] on
+    segment start, [false] on completion or preemption, before the
+    transition's continuation runs).  One observer per CPU; {!Machine}
+    installs one at creation to maintain its idle census, so the idle-CPU
+    queries never scan the array. *)
+
 val begin_work :
   t -> occupant:occupant -> length:Sa_engine.Time.span -> (unit -> unit) -> unit
 (** [begin_work cpu ~occupant ~length k] starts a segment.  The CPU must be

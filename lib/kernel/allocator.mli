@@ -1,0 +1,24 @@
+(** The space-sharing processor allocator (Section 4.1): drives the pure
+    {!Alloc_policy} over every space's priority and demand, reclaims
+    above-target processors (optionally through the Psyche/Symunix warning
+    protocol) and grants free ones below-target, with the remainder
+    rotation of Section 4.1.  Passes are coalesced behind the late-bound
+    {!Ktypes.reevaluate}/{!Ktypes.schedule_pass} entry points, which
+    {!install} fills in. *)
+
+open Ktypes
+
+val install : unit -> unit
+(** Bind {!Ktypes.reevaluate_ref} and {!Ktypes.schedule_pass_ref} to the
+    coalesced reallocation / native dispatch passes.  Idempotent;
+    [Kernel.create] calls it before any space exists. *)
+
+val set_chaos_realloc_drop : t -> bool -> unit
+(** Arm (or disarm) the injector's lost-reallocation fault: the next
+    deferred pass is silently discarded. *)
+
+val set_space_priority : t -> space -> int -> unit
+val chaos_preempt : t -> cpu:int -> bool
+val grant_cpu_to : t -> slot -> space -> unit
+val preempt_cpu_from : t -> space -> unit
+val do_reallocate : t -> unit

@@ -1,0 +1,28 @@
+(** The I/O completion path shared by both kernel personalities: guarded
+    fire-at-most-once wakeups, deterministic fault hooks with retry
+    backoff, and chooser-visible completion reordering (the ["io-complete"]
+    / ["io-spurious"] choice points). *)
+
+module Time = Sa_engine.Time
+
+val set_io_fault_injector :
+  Ktypes.t -> (unit -> Ktypes.io_fault option) option -> unit
+(** Install (or clear) the hook consulted at each nominal I/O completion
+    instant. *)
+
+val io_inflight_count : Ktypes.t -> int
+(** Number of outstanding I/O completions (diagnostics / injector). *)
+
+val schedule_io_completion :
+  Ktypes.t -> io:Time.span -> (unit -> unit) -> unit
+(** [schedule_io_completion t ~io wake] arranges for [wake] to run once
+    after [io] of simulated latency, subject to injected faults (delays
+    re-arm the timer; transient errors retry with exponential backoff
+    between {!io_backoff_floor} and {!io_backoff_cap}). *)
+
+val chaos_spurious_completion : Ktypes.t -> pick:int -> bool
+(** Fire an outstanding completion early — a spurious completion
+    interrupt.  Returns [false] if nothing was in flight. *)
+
+val io_backoff_floor : Time.span
+val io_backoff_cap : Time.span

@@ -1,0 +1,61 @@
+(** The oblivious kernel-thread scheduler (Section 2.2): native-mode
+    priority run queues, dispatch with time-slicing quanta, the per-kthread
+    capability record, and kthread spawning.  The Allocator reuses
+    {!dispatch_kt_on}/{!runq_push}/{!native_dispatch} when it moves
+    processors between spaces; everything else is internal mechanism. *)
+
+open Ktypes
+
+(** {1 Native-mode global run queue} *)
+
+val runq_push : t -> kthread -> unit
+val runq_pop : t -> kthread option
+val runq_depth : t -> int
+val runq_head_prio : t -> int option
+
+(** {1 Dispatch} *)
+
+val dispatch_kt_on : t -> slot -> kthread -> unit
+(** Put [kthread] on the slot's processor, arm its quantum, and charge the
+    context-switch plus any pending unblock cost. *)
+
+val native_dispatch : t -> slot -> unit
+(** If the processor is idle, pop the highest-priority runnable kthread
+    onto it (native mode). *)
+
+val kt_cpu_released : t -> slot -> unit
+(** A processor freed by a kernel thread: find it new work, or return it
+    to the allocator (explicit mode). *)
+
+val make_ready : t -> kthread -> unit
+(** Make a kernel thread runnable and get it a processor if one is due.
+    Native mode models the random-CPU wakeup interrupt for daemons. *)
+
+val refresh_kt_desired : t -> space -> unit
+(** Recompute a kthread space's demand signal from its runnable count. *)
+
+val do_schedule_pass : t -> unit
+(** Native-mode dispatch sweep over all idle processors (the body behind
+    {!Ktypes.schedule_pass}). *)
+
+(** {1 Spawning} *)
+
+val spawn_kthread_gen :
+  t ->
+  space ->
+  name:string ->
+  prio:int ->
+  random_wake:bool ->
+  ?startup_cost:Sa_engine.Time.span ->
+  body:(kt_ops -> unit) ->
+  unit ->
+  kthread
+
+val spawn_kthread :
+  t ->
+  space ->
+  name:string ->
+  ?startup_cost:Sa_engine.Time.span ->
+  body:(kt_ops -> unit) ->
+  unit ->
+  kthread

@@ -64,6 +64,7 @@ type ksem_state = {
 
 type state = {
   queues : tcb Deque.t array;
+  policy : tcb Sched_policy.t;
   q_cells : cs_cell array;
   mutable next_tid : int;
   mutable live : int;
@@ -106,10 +107,12 @@ let tcb_in_cs t = t.held_cell <> None
 let tcb_binding t = t.binding
 let cell_owner c = c.owner
 
-let create_state ~queues ?cache ?io_dev () =
+let create_state ~queues ?(policy = Sched_policy.work_steal) ?cache ?io_dev ()
+    =
   if queues <= 0 then invalid_arg "Ft_core.create_state: queues";
   {
     queues = Array.init queues (fun _ -> Deque.create ());
+    policy;
     q_cells = Array.init queues (fun _ -> { owner = None });
     next_tid = 0;
     live = 0;
@@ -140,6 +143,7 @@ let create_state ~queues ?cache ?io_dev () =
   }
 
 let stats s = s.st
+let policy s = s.policy
 let live_threads s = s.live
 let ready_threads s = s.ready_count
 let runnable_threads s = s.ready_count + s.running_count
@@ -244,64 +248,40 @@ let make_ready s d ~at tcb =
   | Ready -> invalid_arg "make_ready: already ready"
   | Embryo | Blocked_user | Blocked_kernel -> ());
   set_state s tcb Ready;
-  Deque.push_front s.queues.(at) tcb;
+  s.policy.Sched_policy.sp_push_new s.queues.(at) tcb;
   d.work_created s tcb
 
-(* Highest priority wins; LIFO (front) within a priority level for own
-   pops, oldest (back) for steals.  The scan only engages once some thread
-   has a non-zero priority. *)
-let best_prio dq =
-  List.fold_left (fun acc t -> max acc t.prio) min_int (Deque.to_list dq)
+(* Queue discipline (where readied work enters, which end owners and
+   thieves dequeue from, cross-queue priority scan) lives in the state's
+   {!Sched_policy}; the default [work_steal] is the paper's behaviour. *)
+let tcb_prio tcb = tcb.prio
+
+let pop_own s index =
+  s.policy.Sched_policy.sp_pop_own ~prio:tcb_prio ~use_prio:s.has_priorities
+    s.queues index
+
+let steal_from s ~victim =
+  s.policy.Sched_policy.sp_steal ~prio:tcb_prio ~use_prio:s.has_priorities
+    s.queues ~victim
 
 let pop_work s index =
-  match Deque.pop_front s.queues.(index) with
+  match pop_own s index with
   | Some tcb -> Some (tcb, false)
   | None ->
       let n = Array.length s.queues in
       let rec scan k =
         if k >= n then None
         else
-          let j = (index + k) mod n in
-          match Deque.pop_back s.queues.(j) with
-          | Some tcb -> Some (tcb, true)
-          | None -> scan (k + 1)
+          let j =
+            s.policy.Sched_policy.sp_victim ~nqueues:n ~thief:index ~attempt:k
+          in
+          if j = index then scan (k + 1)
+          else
+            match steal_from s ~victim:j with
+            | Some tcb -> Some (tcb, true)
+            | None -> scan (k + 1)
       in
       scan 1
-
-let pop_own s index =
-  let dq = s.queues.(index) in
-  if not s.has_priorities then Deque.pop_front dq
-  else begin
-    (* Priority goal 2 of Section 1.2: no high-priority thread may wait
-       while a low-priority one runs.  Once priorities are in play the
-       dispatch considers every ready list, preferring the local queue on
-       ties (cache affinity yields to priority). *)
-    let best_here = if Deque.is_empty dq then min_int else best_prio dq in
-    let best = ref best_here and best_idx = ref index in
-    Array.iteri
-      (fun i q ->
-        if i <> index && not (Deque.is_empty q) then begin
-          let b = best_prio q in
-          if b > !best then begin
-            best := b;
-            best_idx := i
-          end
-        end)
-      s.queues;
-    if !best = min_int then None
-    else if !best_idx = index then
-      Deque.remove_first dq (fun t -> t.prio = !best)
-    else Deque.remove_last s.queues.(!best_idx) (fun t -> t.prio = !best)
-  end
-
-let steal_from s ~victim =
-  let dq = s.queues.(victim) in
-  if not s.has_priorities then Deque.pop_back dq
-  else if Deque.is_empty dq then None
-  else begin
-    let best = best_prio dq in
-    Deque.remove_last dq (fun t -> t.prio = best)
-  end
 let nqueues s = Array.length s.queues
 let requeue_front s index tcb = Deque.push_front s.queues.(index) tcb
 
@@ -375,7 +355,8 @@ let charge_op s d tcb ~cell ~cost ~crossings after =
               tcb.cs_hook <- None;
               tcb.resume <- after;
               set_state s tcb Ready;
-              Deque.push_front s.queues.(tcb.binding) tcb;
+              s.policy.Sched_policy.sp_push_preempted s.queues.(tcb.binding)
+                tcb;
               d.work_created s tcb;
               hook ()))
 
@@ -625,8 +606,7 @@ let rec exec s d tcb prog =
         (fun () ->
           tcb.resume <- (fun () -> exec s d tcb (k ()));
           set_state s tcb Ready;
-          (* Yield goes to the back so peers run first. *)
-          Deque.push_back s.queues.(tcb.binding) tcb;
+          s.policy.Sched_policy.sp_push_yield s.queues.(tcb.binding) tcb;
           d.work_created s tcb;
           d.thread_stopped tcb)
 
@@ -686,7 +666,7 @@ let resume_preempted s d ~at tcb ~remaining ~resume k =
          remainder completes the trap and blocks properly. *)
       tcb.resume <- (fun () -> d.charge tcb remaining resume);
       set_state s tcb Ready;
-      Deque.push_front s.queues.(at) tcb;
+      s.policy.Sched_policy.sp_push_preempted s.queues.(at) tcb;
       d.work_created s tcb;
       k ()
   | Embryo | Ready | Blocked_user | Done ->

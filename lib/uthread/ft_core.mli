@@ -63,17 +63,24 @@ type state
 
 val create_state :
   queues:int ->
+  ?policy:tcb Sched_policy.t ->
   ?cache:Sa_hw.Buffer_cache.t ->
   ?io_dev:Sa_hw.Io_device.t ->
   unit ->
   state
 (** [queues] is the number of per-processor ready lists (= maximum virtual
     processors for the kernel-thread substrate, = physical processors for
-    the activation substrate).  [io_dev], when given, services buffer-cache
-    miss fills (so disk contention is modelled); otherwise each miss blocks
-    for the cost model's fixed I/O latency, the paper's simplification. *)
+    the activation substrate).  [policy] is the ready-list discipline
+    (default {!Sched_policy.work_steal}, the paper's behaviour).  [io_dev],
+    when given, services buffer-cache miss fills (so disk contention is
+    modelled); otherwise each miss blocks for the cost model's fixed I/O
+    latency, the paper's simplification. *)
 
 val stats : state -> stats
+
+val policy : state -> tcb Sched_policy.t
+(** The ready-list discipline this state was created with. *)
+
 val live_threads : state -> int
 val ready_threads : state -> int
 val runnable_threads : state -> int
@@ -139,18 +146,20 @@ val mark_kernel_blocked : state -> tcb -> unit
     path re-dispatches the thread as [Running]. *)
 
 val make_ready : state -> driver -> at:int -> tcb -> unit
-(** Push onto ready list [at] (LIFO) and fire [work_created]. *)
+(** Enqueue on ready list [at] (via the policy's [sp_push_new]) and fire
+    [work_created]. *)
 
 val pop_work : state -> int -> (tcb * bool) option
-(** Take the next thread for vessel [index]: front of its own list, else
-    steal from the back of another (second component [true] for steals).
-    Does not spin on cell locks — callers hold them via {!spin_lock_cell}. *)
+(** Take the next thread for vessel [index]: its own list first, else
+    probe the others in the policy's victim order (second component
+    [true] for steals).  Does not spin on cell locks — callers hold them
+    via {!spin_lock_cell}. *)
 
 val pop_own : state -> int -> tcb option
-(** Front of vessel [index]'s own ready list only. *)
+(** Next thread from vessel [index]'s own ready list (policy-ordered). *)
 
 val steal_from : state -> victim:int -> tcb option
-(** Back of [victim]'s ready list. *)
+(** Take one thread from [victim]'s ready list (policy-ordered). *)
 
 val nqueues : state -> int
 

@@ -75,7 +75,16 @@ and steal_scan t idx ops k =
        original-FastThreads kernel thread idling in its scheduler. *)
     ops.Kernel.kt_charge idle_slice (fun () -> vp_step t idx ops)
   else begin
-    let v = (idx + k) mod nq in
+    (* Victim order comes from the policy; the explorer can override it at
+       the "steal-victim" choice point (identity default). *)
+    let dflt =
+      (Ft_core.policy s).Sched_policy.sp_victim ~nqueues:nq ~thief:idx
+        ~attempt:k
+    in
+    let v =
+      Sim.pick (Kernel.sim t.kernel) ~site:"steal-victim" ~arity:nq
+        ~default:dflt
+    in
     if v = idx then steal_scan t idx ops (k + 1)
     else begin
       let vcell = Ft_core.queue_cell s v in
@@ -94,12 +103,14 @@ and steal_scan t idx ops k =
     end
   end
 
-let create kernel ~name ~vps ?(priority = 0) ?cache ?io_dev
+let create kernel ~name ~vps ?(priority = 0) ?policy ?cache ?io_dev
     ?(strategy = Ft_core.Copy_sections) ?(observer = fun _ _ -> ())
     ?(on_done = fun () -> ()) () =
   if vps <= 0 then invalid_arg "Ft_kt.create: vps";
   let space = Kernel.new_kthread_space kernel ~name ~priority () in
-  let core_state = Ft_core.create_state ~queues:vps ?cache ?io_dev () in
+  let core_state =
+    Ft_core.create_state ~queues:vps ?policy ?cache ?io_dev ()
+  in
   let t =
     {
       kernel;

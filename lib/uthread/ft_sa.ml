@@ -11,22 +11,22 @@ type loaded = L_thread of Ft_core.tcb | L_manager
 
 (* Debug journal: recent driver actions, dumped on internal errors.  Opt-in
    (set [journal_enabled]) because formatting on every dispatch costs real
-   time in large simulations; kept bounded so long runs do not accumulate
-   garbage. *)
+   time in large simulations.  A fixed-capacity ring: each entry overwrites
+   the oldest once full — O(1) per log line, no periodic trim, no
+   allocation beyond the formatted string itself. *)
 let journal_enabled = ref false
-let journal : string list ref = ref []
-let journal_len = ref 0
+let journal_cap = 16384
+let journal_buf = Array.make journal_cap ""
+let journal_head = ref 0 (* next write slot *)
+let journal_count = ref 0
 
 let jlog fmt =
   Printf.ksprintf
     (fun m ->
       if !journal_enabled then begin
-        journal := m :: !journal;
-        incr journal_len;
-        if !journal_len > 16384 then begin
-          journal := List.filteri (fun i _ -> i < 8192) !journal;
-          journal_len := 8192
-        end
+        journal_buf.(!journal_head) <- m;
+        journal_head := (!journal_head + 1) mod journal_cap;
+        if !journal_count < journal_cap then incr journal_count
       end)
     fmt
 
@@ -36,7 +36,13 @@ let contains hay needle =
   go 0
 
 let journal_for needle =
-  List.rev (List.filter (fun m -> contains m needle) !journal)
+  let start = (!journal_head - !journal_count + journal_cap) mod journal_cap in
+  let out = ref [] in
+  for i = !journal_count - 1 downto 0 do
+    let m = journal_buf.((start + i) mod journal_cap) in
+    if contains m needle then out := m :: !out
+  done;
+  !out
 
 type t = {
   kernel : Kernel.t;
@@ -180,7 +186,15 @@ and steal_scan t act idx k =
   let nq = Ft_core.nqueues s in
   if k >= nq then idle_hysteresis t act idx
   else begin
-    let v = (idx + k) mod nq in
+    (* Victim order comes from the policy; the explorer can override it at
+       the "steal-victim" choice point (identity default). *)
+    let d =
+      (Ft_core.policy s).Sched_policy.sp_victim ~nqueues:nq ~thief:idx
+        ~attempt:k
+    in
+    let v =
+      Sim.pick (Kernel.sim t.kernel) ~site:"steal-victim" ~arity:nq ~default:d
+    in
     if v = idx then steal_scan t act idx (k + 1)
     else begin
       let vcell = Ft_core.queue_cell s v in
@@ -298,7 +312,7 @@ let on_upcall t delivery =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create kernel ~name ?(priority = 0) ?cache ?io_dev
+let create kernel ~name ?(priority = 0) ?policy ?cache ?io_dev
     ?(strategy = Ft_core.Copy_sections) ?max_procs
     ?(observer = fun _ _ -> ()) ?(on_done = fun () -> ()) () =
   let ncpus = Sa_hw.Machine.cpu_count (Kernel.machine kernel) in
@@ -308,7 +322,9 @@ let create kernel ~name ?(priority = 0) ?cache ?io_dev
     | Some m when m >= 1 && m <= ncpus -> m
     | Some _ -> invalid_arg "Ft_sa.create: max_procs out of range"
   in
-  let core_state = Ft_core.create_state ~queues:ncpus ?cache ?io_dev () in
+  let core_state =
+    Ft_core.create_state ~queues:ncpus ?policy ?cache ?io_dev ()
+  in
   let t =
     {
       kernel;

@@ -1,0 +1,117 @@
+(* Pluggable ready-list discipline shared by every user-level substrate.
+   The record is polymorphic in the queued element so the policies live
+   below Ft_core (they see deques and a priority projection, never TCBs). *)
+
+type 'a t = {
+  sp_name : string;
+  sp_push_new : 'a Deque.t -> 'a -> unit;
+  sp_push_yield : 'a Deque.t -> 'a -> unit;
+  sp_push_preempted : 'a Deque.t -> 'a -> unit;
+  sp_pop_own :
+    prio:('a -> int) -> use_prio:bool -> 'a Deque.t array -> int -> 'a option;
+  sp_steal :
+    prio:('a -> int) ->
+    use_prio:bool ->
+    'a Deque.t array ->
+    victim:int ->
+    'a option;
+  sp_victim : nqueues:int -> thief:int -> attempt:int -> int;
+}
+
+let name p = p.sp_name
+
+(* Every policy scans victims in rotation order starting after the thief —
+   the classic probe sequence both FastThreads substrates have always
+   used.  Substrates route the result through a [Sim.pick] choice point so
+   the explorer can perturb victim selection. *)
+let rotation ~nqueues ~thief ~attempt = (thief + attempt) mod nqueues
+
+let best_prio prio dq =
+  List.fold_left (fun acc x -> max acc (prio x)) min_int (Deque.to_list dq)
+
+(* The paper's discipline: LIFO on the owner's list (cache affinity for
+   fresh work), FIFO stealing from the back (oldest first), and — once
+   some thread carries a non-zero priority — a global scan so no
+   high-priority thread waits behind a low-priority one (Section 1.2,
+   goal 2).  Ties prefer the local queue. *)
+let work_steal =
+  {
+    sp_name = "work-steal";
+    sp_push_new = Deque.push_front;
+    sp_push_yield = Deque.push_back;
+    sp_push_preempted = Deque.push_front;
+    sp_pop_own =
+      (fun ~prio ~use_prio queues index ->
+        let dq = queues.(index) in
+        if not use_prio then Deque.pop_front dq
+        else begin
+          let best_here =
+            if Deque.is_empty dq then min_int else best_prio prio dq
+          in
+          let best = ref best_here and best_idx = ref index in
+          Array.iteri
+            (fun i q ->
+              if i <> index && not (Deque.is_empty q) then begin
+                let b = best_prio prio q in
+                if b > !best then begin
+                  best := b;
+                  best_idx := i
+                end
+              end)
+            queues;
+          if !best = min_int then None
+          else if !best_idx = index then
+            Deque.remove_first dq (fun x -> prio x = !best)
+          else Deque.remove_last queues.(!best_idx) (fun x -> prio x = !best)
+        end);
+    sp_steal =
+      (fun ~prio ~use_prio queues ~victim ->
+        let dq = queues.(victim) in
+        if not use_prio then Deque.pop_back dq
+        else if Deque.is_empty dq then None
+        else begin
+          let best = best_prio prio dq in
+          Deque.remove_last dq (fun x -> prio x = best)
+        end);
+    sp_victim = rotation;
+  }
+
+(* Greedy LIFO everywhere: new and preempted work goes to the front and
+   thieves also take from the front (newest first — locality over
+   fairness).  Yields still go to the back so a yielding thread defers to
+   its peers instead of re-dispatching itself.  Priorities are ignored:
+   only [work_steal] implements the cross-queue priority goal. *)
+let lifo =
+  {
+    sp_name = "lifo";
+    sp_push_new = Deque.push_front;
+    sp_push_yield = Deque.push_back;
+    sp_push_preempted = Deque.push_front;
+    sp_pop_own =
+      (fun ~prio:_ ~use_prio:_ queues index -> Deque.pop_front queues.(index));
+    sp_steal =
+      (fun ~prio:_ ~use_prio:_ queues ~victim -> Deque.pop_front queues.(victim));
+    sp_victim = rotation;
+  }
+
+(* Per-queue FIFO: everything enqueues at the back and both the owner and
+   thieves dequeue the oldest thread.  Fair, no affinity bias, no
+   priority awareness. *)
+let fifo =
+  {
+    sp_name = "fifo";
+    sp_push_new = Deque.push_back;
+    sp_push_yield = Deque.push_back;
+    sp_push_preempted = Deque.push_back;
+    sp_pop_own =
+      (fun ~prio:_ ~use_prio:_ queues index -> Deque.pop_front queues.(index));
+    sp_steal =
+      (fun ~prio:_ ~use_prio:_ queues ~victim -> Deque.pop_front queues.(victim));
+    sp_victim = rotation;
+  }
+
+let of_name = function
+  | "work-steal" | "work_steal" -> Some work_steal
+  | "lifo" -> Some lifo
+  | "fifo" -> Some fifo
+  | _ -> None
