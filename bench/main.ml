@@ -22,8 +22,10 @@
      bench/main.exe micro           run the Bechamel micro-benchmarks
      bench/main.exe all             paper harness + micro-benchmarks
      bench/main.exe scale           32/64-CPU, ~10k-thread fork-join stress
+     bench/main.exe serve           24-tenant serving with per-tenant SLOs
      bench/main.exe --json [NAMES]  paper harness (or NAMES) as JSON
-     bench/main.exe --json scale    scale stress as JSON (wall time on stderr) *)
+     bench/main.exe --json scale    scale stress as JSON (wall time on stderr)
+     bench/main.exe --json serve    serving SLO report as JSON (deterministic) *)
 
 module E = Sa_metrics.Experiments
 module R = Sa_metrics.Report
@@ -409,6 +411,89 @@ let print_scale_text rows =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Serve mode: multi-tenant serving with tail-latency SLOs             *)
+(* ------------------------------------------------------------------ *)
+
+(* Pinned configuration: 24 tenants (8 of each class) on 64 processors —
+   enough offered load that the space-sharing allocator must preempt, so
+   the per-class SLO-violation split (priority-1 interactive tenants
+   protected, priority-0 bursty/batch tenants absorbing the contention)
+   is visible in the trajectory.  Deterministic: same seed, same JSON. *)
+
+let serve_params =
+  {
+    Sa_workload.Server.mt_tenants = 24;
+    mt_requests = 200;
+    mt_classes = Sa_workload.Server.default_classes;
+    mt_seed = 11;
+  }
+
+let serve_cpus = 64
+
+let serve_title =
+  "Serve: multi-tenant serving, 24 tenants x 200 requests, 64 CPUs, \
+   per-tenant tail latency vs SLO"
+
+let run_serve () =
+  let t0 = Unix.gettimeofday () in
+  let s = E.serve ~params:serve_params ~cpus:serve_cpus () in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Printf.eprintf "serve: %d tenants, %d cpus: %.1f ms simulated, %.0f ms wall\n%!"
+    s.E.v_tenant_count s.E.v_cpus s.E.v_elapsed_ms wall_ms;
+  s
+
+let print_serve_json (s : E.serve_summary) =
+  let buf = Buffer.create 4096 in
+  let int n buf = Buffer.add_string buf (string_of_int n) in
+  let fl v buf = add_float buf v in
+  let str v buf = add_json_string buf v in
+  Buffer.add_string buf "{\n";
+  add_json_string buf "serve";
+  Buffer.add_char buf ':';
+  add_fields buf
+    [
+      ("kind", fun buf -> add_json_string buf "serve");
+      ("title", fun buf -> add_json_string buf serve_title);
+      ( "data",
+        fun buf ->
+          add_fields buf
+            [
+              ("cpus", int s.E.v_cpus);
+              ("tenants", int s.E.v_tenant_count);
+              ("requests_total", int s.E.v_requests_total);
+              ("upcalls", int s.E.v_upcalls);
+              ("preemptions", int s.E.v_preemptions);
+              ("reallocations", int s.E.v_reallocations);
+              ("elapsed_ms", fl s.E.v_elapsed_ms);
+              ( "per_tenant",
+                fun buf ->
+                  add_list buf
+                    (fun buf (r : E.serve_tenant_row) ->
+                      add_fields buf
+                        [
+                          ("tenant", str r.E.v_tenant);
+                          ("class", str r.E.v_class);
+                          ("completed", int r.E.v_completed);
+                          ("mean_us", fl r.E.v_mean_us);
+                          ("p50_us", fl r.E.v_p50_us);
+                          ("p99_us", fl r.E.v_p99_us);
+                          ("p999_us", fl r.E.v_p999_us);
+                          ("max_us", fl r.E.v_max_us);
+                          ("slo_ms", fl r.E.v_slo_ms);
+                          ("violations", int r.E.v_violations);
+                          ("violation_frac", fl r.E.v_violation_frac);
+                          ("makespan_ms", fl r.E.v_makespan_ms);
+                          ("grants", int r.E.v_grants);
+                          ("preempts", int r.E.v_preempts);
+                          ("cpu_seconds", fl r.E.v_cpu_seconds);
+                        ])
+                    s.E.v_rows );
+            ] );
+    ];
+  Buffer.add_string buf "\n}\n";
+  print_string (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (wall clock)                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -536,6 +621,7 @@ let () =
   if json then begin
     match args with
     | [ "scale" ] -> print_scale_json (run_scale ())
+    | [ "serve" ] -> print_serve_json (run_serve ())
     | _ ->
     let selected =
       match args with
@@ -567,6 +653,8 @@ let () =
             | "paper" -> run_paper ()
             | "micro" -> run_micro ()
             | "scale" -> print_scale_text (run_scale ())
+            | "serve" ->
+                R.print_serve ~title:serve_title (run_serve ())
             | name -> (
                 match find_experiment name with
                 | Some (_, title, run) -> print_result ~title (run ())

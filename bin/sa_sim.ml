@@ -326,6 +326,62 @@ let server_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Server = Sa_workload.Server in
+  let d = Server.default_mt_params in
+  let tenants =
+    Arg.(
+      value & opt int d.Server.mt_tenants
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:
+            "Number of tenants (address spaces); tenant $(i,i) draws the \
+             $(i,i) mod 3rd class of interactive / bursty / batch.")
+  in
+  let requests =
+    Arg.(
+      value & opt int d.Server.mt_requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per tenant.")
+  in
+  let seed =
+    Arg.(
+      value & opt int d.Server.mt_seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Workload seed.  Each tenant's arrivals and I/O draws depend \
+             only on (seed, tenant index), so runs are reproducible.")
+  in
+  let serve_cpus =
+    Arg.(
+      value & opt int 64
+      & info [ "cpus" ] ~docv:"N" ~doc:"Number of simulated processors.")
+  in
+  let action cpus tenants requests seed =
+    let params =
+      {
+        Server.mt_tenants = tenants;
+        mt_requests = requests;
+        mt_classes = Server.default_classes;
+        mt_seed = seed;
+      }
+    in
+    let s = E.serve ~params ~cpus () in
+    R.print_serve ~title:"Multi-tenant serving: per-tenant SLO report" s
+  in
+  let term = Term.(const action $ serve_cpus $ tenants $ requests $ seed) in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant serving scenario: N tenant address spaces \
+          with open-loop (Poisson + burst) arrivals and fan-out request \
+          handling compete for the machine through the space-sharing \
+          allocator; reports per-tenant tail latency against each class's \
+          SLO plus allocator grant/preemption counts.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* report                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1053,6 +1109,7 @@ let () =
             latency_cmd;
             sor_cmd;
             server_cmd;
+            serve_cmd;
             report_cmd;
             trace_cmd;
             chaos_cmd;

@@ -138,11 +138,23 @@ let pop_pick q ~pick =
   if q.size = 0 then None
   else begin
     let kmin = q.heap.(0).key in
+    (* Heap order bounds the search: a node with key > kmin heads a
+       subtree whose every key exceeds kmin, so only subtrees rooted at
+       key = kmin nodes are walked — O(candidates), not O(heap).
+       Cancelled entries keep their heap position, so a dead kmin node
+       still recurses (its children may hold live candidates). *)
     let cands = ref [] in
-    for i = q.size - 1 downto 0 do
-      let e = q.heap.(i) in
-      if e.state = `Live && e.key = kmin then cands := e :: !cands
-    done;
+    let rec walk i =
+      if i < q.size then begin
+        let e = q.heap.(i) in
+        if e.key = kmin then begin
+          if e.state = `Live then cands := e :: !cands;
+          walk ((2 * i) + 1);
+          walk ((2 * i) + 2)
+        end
+      end
+    in
+    walk 0;
     let cands =
       List.sort (fun a b -> compare a.seq b.seq) !cands
     in
@@ -154,13 +166,17 @@ let pop_pick q ~pick =
         if i < 0 || i >= n then 0 else i
     in
     let e = List.nth cands i in
-    if e == q.heap.(0) then ignore (pop_root q)
+    if e == q.heap.(0) then begin
+      ignore (pop_root q);
+      e.state <- `Popped
+    end
     else begin
+      (* Marked before [maybe_compact], which keeps only `Live entries;
+         the former trailing re-assignment after this branch is gone. *)
       e.state <- `Popped;
       q.dead <- q.dead + 1;
       maybe_compact q
     end;
-    e.state <- `Popped;
     Some (e.key, e.seq, e.value)
   end
 

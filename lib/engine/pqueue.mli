@@ -42,8 +42,10 @@ val pop_pick : 'a t -> pick:(int -> int) -> (int * int * 'a) option
     (listed in ascending [seq] order).  Candidate 0 is the entry {!pop}
     would return, so [pick = fun _ -> 0] reproduces {!pop}; out-of-range
     picks are clamped to 0.  [pick] is not consulted when only one candidate
-    exists.  O(heap size) per call — intended for schedule exploration, not
-    the default hot path. *)
+    exists.  Candidates are collected by walking only the heap subtrees
+    whose roots carry the minimal key, so the cost is proportional to the
+    number of minimal-key entries, not the heap size — intended for
+    schedule exploration, not the default hot path. *)
 
 val remove : 'a t -> 'a entry -> unit
 (** Cancels an entry.  Idempotent; no effect if already popped. *)

@@ -44,6 +44,7 @@ let compute_targets t =
 
 let preempt_slot_now t sp slot =
   t.st_preemptions <- t.st_preemptions + 1;
+  sp.sp_preempted <- sp.sp_preempted + 1;
   slot.slot_warned <- false;
   tracef t "allocator: preempt cpu%d from %s" (Cpu.id slot.slot_cpu)
     sp.sp_name;
@@ -153,6 +154,7 @@ let preempt_cpu_from t sp =
 
 let grant_cpu_to t slot sp =
   slot.slot_owner <- Some sp;
+  sp.sp_granted <- sp.sp_granted + 1;
   set_assigned t sp (sp.sp_assigned + 1);
   tracef t "allocator: grant cpu%d to %s" (Cpu.id slot.slot_cpu) sp.sp_name;
   trace_instant t ~cpu:(Cpu.id slot.slot_cpu) ~space:sp.sp_id Trace.Kernel

@@ -50,6 +50,8 @@ let space_name = Ktypes.space_name
 let space_assigned = Ktypes.space_assigned
 let space_desired = Ktypes.space_desired
 let space_upcalls = Ktypes.space_upcalls
+let space_grants = Ktypes.space_grants
+let space_preempts = Ktypes.space_preempts
 let kthread_id = Ktypes.kthread_id
 let kthread_space = Ktypes.kthread_space
 let activation_id = Ktypes.activation_id
@@ -96,6 +98,8 @@ let new_kthread_space t ~name ?(priority = 0) () =
       sp_desired = 0;
       sp_assigned = 0;
       sp_upcalls = 0;
+      sp_granted = 0;
+      sp_preempted = 0;
       sp_manager_swapped = false;
       sp_alloc_track =
         Some (Sa_engine.Stats.Weighted.create ~at:(Sim.now t.sim) ~level:0.0);
@@ -124,6 +128,8 @@ let new_sa_space t ~name ?(priority = 0) ~client () =
       sp_desired = 0;
       sp_assigned = 0;
       sp_upcalls = 0;
+      sp_granted = 0;
+      sp_preempted = 0;
       sp_manager_swapped = false;
       sp_alloc_track =
         Some (Sa_engine.Stats.Weighted.create ~at:(Sim.now t.sim) ~level:0.0);

@@ -196,6 +196,14 @@ type stats = {
 val stats : t -> stats
 val space_upcalls : space -> int
 
+val space_grants : space -> int
+(** Processors the allocator has granted to this space over the run
+    (explicit mode; the initial grant counts). *)
+
+val space_preempts : space -> int
+(** Processors the allocator has reclaimed from this space over the run
+    (explicit mode), warnings included once forced. *)
+
 val check_invariants : t -> unit
 (** Raises [Failure] if a kernel invariant is violated, most importantly
     Section 3.1's: for every scheduler-activation address space, the number

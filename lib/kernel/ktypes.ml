@@ -96,6 +96,8 @@ and space = {
   mutable sp_desired : int;
   mutable sp_assigned : int;
   mutable sp_upcalls : int;
+  mutable sp_granted : int;  (* processors granted by the allocator *)
+  mutable sp_preempted : int;  (* processors reclaimed by the allocator *)
   mutable sp_manager_swapped : bool;
       (* Section 3.1: the pages holding the user-level thread manager may
          themselves be paged out; the next upcall must first fault them in
@@ -188,6 +190,8 @@ let space_name sp = sp.sp_name
 let space_assigned sp = sp.sp_assigned
 let space_desired sp = sp.sp_desired
 let space_upcalls sp = sp.sp_upcalls
+let space_grants sp = sp.sp_granted
+let space_preempts sp = sp.sp_preempted
 let kthread_id kt = kt.kt_id
 let kthread_space kt = kt.kt_sp
 let activation_id act = act.act_id

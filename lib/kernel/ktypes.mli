@@ -75,6 +75,8 @@ and space = {
   mutable sp_desired : int;
   mutable sp_assigned : int;
   mutable sp_upcalls : int;
+  mutable sp_granted : int;  (** processors granted by the allocator *)
+  mutable sp_preempted : int;  (** processors reclaimed by the allocator *)
   mutable sp_manager_swapped : bool;
   mutable sp_alloc_track : Sa_engine.Stats.Weighted.t option;
 }
@@ -149,6 +151,8 @@ val space_name : space -> string
 val space_assigned : space -> int
 val space_desired : space -> int
 val space_upcalls : space -> int
+val space_grants : space -> int
+val space_preempts : space -> int
 val kthread_id : kthread -> int
 val kthread_space : kthread -> space
 val activation_id : activation -> int

@@ -483,6 +483,104 @@ let server_latency ?(params = Sa_workload.Server.default_params) ?(cpus = 4)
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Multi-tenant serving with tail-latency SLOs                         *)
+(* ------------------------------------------------------------------ *)
+
+type serve_tenant_row = {
+  v_tenant : string;
+  v_class : string;
+  v_completed : int;
+  v_mean_us : float;
+  v_p50_us : float;
+  v_p99_us : float;
+  v_p999_us : float;
+  v_max_us : float;
+  v_slo_ms : float;
+  v_violations : int;
+  v_violation_frac : float;
+  v_makespan_ms : float;
+  v_grants : int;
+  v_preempts : int;
+  v_cpu_seconds : float;
+}
+
+type serve_summary = {
+  v_cpus : int;
+  v_tenant_count : int;
+  v_requests_total : int;
+  v_rows : serve_tenant_row list;
+  v_upcalls : int;
+  v_preemptions : int;
+  v_reallocations : int;
+  v_elapsed_ms : float;
+}
+
+let serve ?(params = Sa_workload.Server.default_mt_params) ?(cpus = 64) () =
+  let module Server = Sa_workload.Server in
+  let sys = System.create ~cpus () in
+  let tenants =
+    List.init params.Server.mt_tenants (fun i ->
+        let cls = Server.tenant_class params i in
+        let r = Recorder.create () in
+        let job =
+          System.submit sys ~backend:`Fastthreads_on_sa
+            ~name:(Server.tenant_name params i)
+            ~space_priority:cls.Server.tc_priority
+            ~observer:(Recorder.observer r)
+            (Server.tenant_program params i)
+        in
+        (i, cls, r, job))
+  in
+  System.run sys;
+  let kernel = System.kernel sys in
+  let rows =
+    List.map
+      (fun (i, cls, r, job) ->
+        let s =
+          Server.summarize_tenant r ~requests:params.Server.mt_requests
+            ~slo:cls.Server.tc_slo
+        in
+        let sp = System.space job in
+        {
+          v_tenant = Server.tenant_name params i;
+          v_class = cls.Server.tc_class;
+          v_completed = s.Server.ts_completed;
+          v_mean_us = s.Server.ts_mean_us;
+          v_p50_us = s.Server.ts_p50_us;
+          v_p99_us = s.Server.ts_p99_us;
+          v_p999_us = s.Server.ts_p999_us;
+          v_max_us = s.Server.ts_max_us;
+          v_slo_ms = s.Server.ts_slo_ms;
+          v_violations = s.Server.ts_violations;
+          v_violation_frac = s.Server.ts_violation_frac;
+          v_makespan_ms = s.Server.ts_makespan_ms;
+          v_grants = Kernel.space_grants sp;
+          v_preempts = Kernel.space_preempts sp;
+          v_cpu_seconds = Kernel.space_cpu_seconds kernel sp;
+        })
+      tenants
+  in
+  let st = Kernel.stats kernel in
+  let elapsed_ms =
+    List.fold_left
+      (fun acc (_, _, _, job) ->
+        match System.elapsed job with
+        | Some d -> Stdlib.max acc (Time.span_to_ms d)
+        | None -> acc)
+      0.0 tenants
+  in
+  {
+    v_cpus = cpus;
+    v_tenant_count = params.Server.mt_tenants;
+    v_requests_total = params.Server.mt_tenants * params.Server.mt_requests;
+    v_rows = rows;
+    v_upcalls = st.Kernel.upcalls;
+    v_preemptions = st.Kernel.preemptions;
+    v_reallocations = st.Kernel.reallocations;
+    v_elapsed_ms = elapsed_ms;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Preemption protocol comparison (Section 6)                          *)
 (* ------------------------------------------------------------------ *)
 

@@ -110,6 +110,44 @@ val server_latency :
     (listener waits and handler I/O alike), so its tail latency inflates;
     scheduler activations keep every processor busy. *)
 
+type serve_tenant_row = {
+  v_tenant : string;  (** e.g. ["t03-interactive"] *)
+  v_class : string;
+  v_completed : int;
+  v_mean_us : float;
+  v_p50_us : float;
+  v_p99_us : float;
+  v_p999_us : float;
+  v_max_us : float;
+  v_slo_ms : float;
+  v_violations : int;
+  v_violation_frac : float;
+  v_makespan_ms : float;
+  v_grants : int;  (** processors granted to this tenant's address space *)
+  v_preempts : int;  (** processors preempted from it *)
+  v_cpu_seconds : float;
+}
+
+type serve_summary = {
+  v_cpus : int;
+  v_tenant_count : int;
+  v_requests_total : int;
+  v_rows : serve_tenant_row list;
+  v_upcalls : int;
+  v_preemptions : int;
+  v_reallocations : int;
+  v_elapsed_ms : float;  (** slowest tenant's wall-clock *)
+}
+
+val serve :
+  ?params:Sa_workload.Server.mt_params -> ?cpus:int -> unit -> serve_summary
+(** Multi-tenant serving under scheduler activations: every tenant is an
+    address space running {!Sa_workload.Server.tenant_program} on the
+    FastThreads-on-SA backend, all competing for [cpus] (default 64)
+    through the space-sharing allocator.  Reports per-tenant tail latency
+    against each class's SLO plus the allocator's per-tenant grant and
+    preemption counts.  Deterministic in [params.mt_seed]. *)
+
 val preemption_protocol : unit -> ablation_row list
 (** Section 6 comparison: how long a newly arrived high-priority job waits
     for its first processor under (a) the paper's immediate stop-and-upcall,

@@ -15,3 +15,6 @@ val print_upcalls : title:string -> Experiments.upcall_row list -> unit
 val print_ablation : title:string -> Experiments.ablation_row list -> unit
 
 val print_server : title:string -> Experiments.server_row list -> unit
+
+val print_serve : title:string -> Experiments.serve_summary -> unit
+(** Per-tenant SLO report for the multi-tenant serving scenario. *)

@@ -63,6 +63,272 @@ let program p =
      in
      iter_list tids (fun tid -> join tid))
 
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant serving: the datacenter-scale scenario                  *)
+(* ------------------------------------------------------------------ *)
+
+(* N tenants, each an address space with its own handler pool, all
+   competing for the machine through the space-sharing allocator.  Each
+   tenant runs an open-loop listener: arrivals are a Poisson process at
+   the class base rate *plus* deterministic seeded bursts (a clump of
+   near-simultaneous requests every [tc_burst_every]), the heavy-tailed
+   shape that separates p50 from p999.  A request fans out across
+   [tc_fan_out] uthreads (optional kernel I/O + compute each) and
+   fans back in before its completion stamp, so tail latency sees the
+   slowest subrequest. *)
+
+type tenant_class = {
+  tc_class : string;
+  tc_mean_interarrival : Time.span;  (* Poisson base rate *)
+  tc_burst_every : Time.span;  (* deterministic burst period; 0 disables *)
+  tc_burst_size : int;  (* requests per burst *)
+  tc_fan_out : int;  (* subrequest uthreads per request *)
+  tc_service_compute : Time.span;  (* compute per subrequest *)
+  tc_io_probability : float;  (* per-subrequest chance of kernel I/O *)
+  tc_io_latency : Time.span;
+  tc_slo : Time.span;  (* per-request latency SLO *)
+  tc_priority : int;  (* address-space allocation priority *)
+}
+
+let interactive_class =
+  {
+    tc_class = "interactive";
+    tc_mean_interarrival = Time.ms 2;
+    tc_burst_every = Time.ms 50;
+    tc_burst_size = 12;
+    tc_fan_out = 4;
+    tc_service_compute = Time.us 200;
+    tc_io_probability = 0.3;
+    tc_io_latency = Time.ms 5;
+    tc_slo = Time.ms 20;
+    tc_priority = 1;
+  }
+
+let bursty_class =
+  {
+    tc_class = "bursty";
+    tc_mean_interarrival = Time.ms 5;
+    tc_burst_every = Time.ms 100;
+    tc_burst_size = 30;
+    tc_fan_out = 2;
+    tc_service_compute = Time.us 500;
+    tc_io_probability = 0.5;
+    tc_io_latency = Time.ms 10;
+    tc_slo = Time.ms 50;
+    tc_priority = 0;
+  }
+
+let batch_class =
+  {
+    tc_class = "batch";
+    tc_mean_interarrival = Time.ms 10;
+    tc_burst_every = 0;
+    tc_burst_size = 0;
+    tc_fan_out = 8;
+    tc_service_compute = Time.ms 2;
+    tc_io_probability = 0.1;
+    tc_io_latency = Time.ms 20;
+    tc_slo = Time.ms 200;
+    tc_priority = 0;
+  }
+
+let default_classes = [ interactive_class; bursty_class; batch_class ]
+
+type mt_params = {
+  mt_tenants : int;
+  mt_requests : int;  (* per tenant *)
+  mt_classes : tenant_class list;  (* tenant i draws class (i mod len) *)
+  mt_seed : int;
+}
+
+let default_mt_params =
+  { mt_tenants = 6; mt_requests = 200; mt_classes = default_classes; mt_seed = 11 }
+
+let tenant_class p i =
+  if p.mt_tenants <= 0 then invalid_arg "Server.tenant_class: tenants";
+  if p.mt_classes = [] then invalid_arg "Server.tenant_class: classes";
+  List.nth p.mt_classes (i mod List.length p.mt_classes)
+
+let tenant_name p i = Printf.sprintf "t%02d-%s" i (tenant_class p i).tc_class
+
+(* Each tenant derives an independent deterministic stream from the run
+   seed, so adding a tenant never perturbs the others' draws. *)
+let tenant_rng p i = Rng.create (p.mt_seed + (0x9e3779b9 * (i + 1)))
+
+(* Absolute arrival instants: a Poisson stream of [mt_requests] draws,
+   merged in time order with the deterministic burst clumps that fall
+   inside its span, truncated back to exactly [mt_requests] arrivals. *)
+let arrival_gaps p cls rng =
+  let n = p.mt_requests in
+  let poisson =
+    let t = ref 0 in
+    Array.init n (fun _ ->
+        let gap =
+          max 1
+            (int_of_float
+               (Rng.exponential rng
+                  ~mean:(float_of_int cls.tc_mean_interarrival)))
+        in
+        t := !t + gap;
+        !t)
+  in
+  let horizon = poisson.(n - 1) in
+  let bursts =
+    if cls.tc_burst_every <= 0 || cls.tc_burst_size <= 0 then []
+    else begin
+      let acc = ref [] in
+      let k = ref 1 in
+      while !k * cls.tc_burst_every <= horizon do
+        for j = 0 to cls.tc_burst_size - 1 do
+          (* 1 ns apart: simultaneous for every purpose but ordering *)
+          acc := ((!k * cls.tc_burst_every) + j) :: !acc
+        done;
+        incr k
+      done;
+      !acc
+    end
+  in
+  let all = Array.append poisson (Array.of_list bursts) in
+  Array.sort compare all;
+  let times = Array.sub all 0 n in
+  let gaps = Array.make n 0 in
+  let prev = ref 0 in
+  Array.iteri
+    (fun i t ->
+      gaps.(i) <- max 1 (t - !prev);
+      prev := t)
+    times;
+  gaps
+
+let tenant_program p tenant =
+  if p.mt_requests <= 0 then invalid_arg "Server.tenant_program: requests";
+  let cls = tenant_class p tenant in
+  if cls.tc_fan_out <= 0 then invalid_arg "Server.tenant_program: fan_out";
+  let rng = tenant_rng p tenant in
+  let gaps = arrival_gaps p cls rng in
+  (* Pre-draw every subrequest's I/O coin so the program is a pure value. *)
+  let does_io =
+    Array.init p.mt_requests (fun _ ->
+        Array.init cls.tc_fan_out (fun _ ->
+            Rng.float rng 1.0 < cls.tc_io_probability))
+  in
+  let subrequest coin =
+    B.to_program
+      (let open B in
+       let* () = when_ coin (io cls.tc_io_latency) in
+       compute cls.tc_service_compute)
+  in
+  let handler i =
+    B.to_program
+      (let open B in
+       let* () =
+         if cls.tc_fan_out = 1 then
+           let* () = when_ does_io.(i).(0) (io cls.tc_io_latency) in
+           compute cls.tc_service_compute
+         else
+           let* tids =
+             let rec spawn acc j =
+               if j >= cls.tc_fan_out then return acc
+               else
+                 let* tid = fork (subrequest does_io.(i).(j)) in
+                 spawn (tid :: acc) (j + 1)
+             in
+             spawn [] 0
+           in
+           iter_list tids (fun tid -> join tid)
+       in
+       stamp ((2 * i) + 1))
+  in
+  B.to_program
+    (let open B in
+     let* tids =
+       let rec accept acc i =
+         if i >= p.mt_requests then return acc
+         else
+           let* () = io gaps.(i) in
+           let* () = stamp (2 * i) in
+           let* tid = fork (handler i) in
+           accept (tid :: acc) (i + 1)
+       in
+       accept [] 0
+     in
+     iter_list tids (fun tid -> join tid))
+
+type tenant_summary = {
+  ts_completed : int;
+  ts_mean_us : float;
+  ts_p50_us : float;
+  ts_p99_us : float;
+  ts_p999_us : float;
+  ts_max_us : float;
+  ts_slo_ms : float;
+  ts_violations : int;
+  ts_violation_frac : float;
+  ts_makespan_ms : float;
+}
+
+(* Latency percentile resolution: 64 sub-buckets per octave keeps the
+   relative quantile error under 0.8% at O(1) memory in the request
+   count — the reason a million-request tenant costs no more to
+   summarize than a hundred-request one. *)
+let latency_histogram () =
+  Stats.Log_histogram.create ~lo:1.0 ~hi:1e8 ~sub_buckets:64
+
+let summarize_tenant ?(allow_incomplete = false) recorder ~requests ~slo =
+  let stamps = Recorder.stamps recorder in
+  let arrivals = Hashtbl.create requests in
+  let hist = latency_histogram () in
+  let completed = ref 0 in
+  let violations = ref 0 in
+  let first_arrival = ref None in
+  let last_completion = ref None in
+  List.iter
+    (fun (id, time) ->
+      if id mod 2 = 0 then begin
+        if !first_arrival = None then first_arrival := Some time;
+        Hashtbl.replace arrivals (id / 2) time
+      end
+      else begin
+        match Hashtbl.find_opt arrivals (id / 2) with
+        | Some t0 ->
+            incr completed;
+            last_completion := Some time;
+            let lat = Time.diff time t0 in
+            if lat > slo then incr violations;
+            Stats.Log_histogram.add hist (float_of_int lat /. 1000.0)
+        | None ->
+            failwith "Server.summarize_tenant: completion without arrival"
+      end)
+    stamps;
+  if !completed <> requests && not allow_incomplete then
+    failwith
+      (Printf.sprintf "Server.summarize_tenant: %d of %d requests completed"
+         !completed requests);
+  let makespan_ms =
+    match (!first_arrival, !last_completion) with
+    | Some t0, Some t1 -> float_of_int (Time.diff t1 t0) /. 1e6
+    | None, _ | _, None -> 0.0
+  in
+  let pct q =
+    if !completed = 0 then Float.nan else Stats.Log_histogram.percentile hist q
+  in
+  {
+    ts_completed = !completed;
+    ts_mean_us =
+      (if !completed = 0 then Float.nan else Stats.Log_histogram.mean hist);
+    ts_p50_us = pct 50.0;
+    ts_p99_us = pct 99.0;
+    ts_p999_us = pct 99.9;
+    ts_max_us =
+      (if !completed = 0 then Float.nan else Stats.Log_histogram.max hist);
+    ts_slo_ms = Time.span_to_ms slo;
+    ts_violations = !violations;
+    ts_violation_frac =
+      (if !completed = 0 then Float.nan
+       else float_of_int !violations /. float_of_int !completed);
+    ts_makespan_ms = makespan_ms;
+  }
+
 type summary = {
   completed : int;
   mean_us : float;
@@ -95,11 +361,23 @@ let summarize ?(allow_incomplete = false) recorder p =
     failwith
       (Printf.sprintf "Server.summarize: %d of %d requests completed"
          !completed p.requests);
-  let times = List.map (fun (_, t) -> Time.to_ns t) stamps in
+  (* "First arrival to last completion": arrivals stamp even ids,
+     completions odd ids.  Taking the first and last stamp of any kind
+     used to inflate the makespan under [~allow_incomplete:true] when a
+     trailing arrival never completed. *)
+  let first_arrival =
+    List.find_opt (fun (id, _) -> id mod 2 = 0) stamps
+  in
+  let last_completion =
+    List.fold_left
+      (fun acc (id, t) -> if id mod 2 = 1 then Some t else acc)
+      None stamps
+  in
   let makespan_ms =
-    match (times, List.rev times) with
-    | first :: _, last :: _ -> float_of_int (last - first) /. 1e6
-    | [], _ | _, [] -> 0.0
+    match (first_arrival, last_completion) with
+    | Some (_, t0), Some t1 ->
+        float_of_int (Time.to_ns t1 - Time.to_ns t0) /. 1e6
+    | None, _ | _, None -> 0.0
   in
   let pct p =
     (* A run cut short by a violation may have completed nothing at all. *)

@@ -32,6 +32,91 @@ val default_params : params
 val program : params -> Sa_program.Program.t
 (** Deterministic in [params.seed]. *)
 
+(** {1 Multi-tenant serving}
+
+    The datacenter-scale extension of the scenario: N tenants, each an
+    address space with its own handler pool, open-loop arrivals (Poisson
+    base rate plus deterministic seeded bursts), request fan-out/fan-in
+    across uthreads, all competing for the machine through the
+    space-sharing allocator.  Per-tenant tail latency against an SLO is
+    the figure of merit — the multiprogramming stress the paper's
+    Table 5 poses with just two jobs, at serving scale. *)
+
+type tenant_class = {
+  tc_class : string;  (** class label, e.g. ["interactive"] *)
+  tc_mean_interarrival : Sa_engine.Time.span;  (** Poisson base rate *)
+  tc_burst_every : Sa_engine.Time.span;
+      (** deterministic burst period; [0] disables bursts *)
+  tc_burst_size : int;  (** near-simultaneous requests per burst *)
+  tc_fan_out : int;  (** subrequest uthreads per request (fan-in joins) *)
+  tc_service_compute : Sa_engine.Time.span;  (** compute per subrequest *)
+  tc_io_probability : float;  (** per-subrequest chance of kernel I/O *)
+  tc_io_latency : Sa_engine.Time.span;
+  tc_slo : Sa_engine.Time.span;  (** per-request latency SLO *)
+  tc_priority : int;  (** address-space allocation priority *)
+}
+
+val interactive_class : tenant_class
+(** Fast, shallow requests with frequent small bursts and a tight SLO;
+    allocation priority 1. *)
+
+val bursty_class : tenant_class
+(** Mid-weight requests arriving in large periodic clumps. *)
+
+val batch_class : tenant_class
+(** Heavy fan-out compute/I/O requests with a loose SLO. *)
+
+val default_classes : tenant_class list
+(** [interactive; bursty; batch], cycled across tenants. *)
+
+type mt_params = {
+  mt_tenants : int;
+  mt_requests : int;  (** per tenant *)
+  mt_classes : tenant_class list;  (** tenant [i] draws class [i mod len] *)
+  mt_seed : int;
+}
+
+val default_mt_params : mt_params
+(** 6 tenants (two of each default class), 200 requests each, seed 11. *)
+
+val tenant_class : mt_params -> int -> tenant_class
+val tenant_name : mt_params -> int -> string
+(** E.g. ["t03-interactive"]. *)
+
+val tenant_program : mt_params -> int -> Sa_program.Program.t
+(** The listener/handler program of tenant [i]: deterministic in
+    [(mt_seed, i)] alone, so adding or removing other tenants never
+    perturbs this tenant's arrivals or I/O coin flips.  Request [r]
+    stamps [2r] at arrival and [2r+1] at completion (after fan-in). *)
+
+type tenant_summary = {
+  ts_completed : int;
+  ts_mean_us : float;
+  ts_p50_us : float;
+  ts_p99_us : float;
+  ts_p999_us : float;
+  ts_max_us : float;
+  ts_slo_ms : float;
+  ts_violations : int;  (** completed requests with latency > SLO *)
+  ts_violation_frac : float;
+  ts_makespan_ms : float;  (** first arrival to last completion *)
+}
+
+val latency_histogram : unit -> Sa_engine.Stats.Log_histogram.t
+(** The accumulator [summarize_tenant] uses: log-scale over
+    [\[1 us, 100 s)] with 64 sub-buckets per octave (quantile error
+    under 0.8%), O(1) memory in the request count. *)
+
+val summarize_tenant :
+  ?allow_incomplete:bool ->
+  Recorder.t ->
+  requests:int ->
+  slo:Sa_engine.Time.span ->
+  tenant_summary
+(** Pair arrival/completion stamps into response times and report the
+    tail against [slo].  Same [allow_incomplete] contract as
+    {!summarize}; with zero completions the latency fields are [nan]. *)
+
 type summary = {
   completed : int;
   mean_us : float;

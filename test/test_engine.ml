@@ -113,6 +113,51 @@ let pqueue_compact_bound =
       && List.for_all (fun v -> v mod 37 = 0) popped
       && bound >= Pqueue.heap_size q)
 
+(* pop_pick's kmin-subtree walk must behave exactly like the obvious
+   reference: among live entries with the minimal key, listed in ascending
+   seq order, return the one [pick] chooses.  Large heaps with few distinct
+   keys and interleaved cancellations stress the pruned walk (cancelled
+   kmin roots must still be recursed through). *)
+let pqueue_pop_pick_reference =
+  QCheck.Test.make ~name:"pop_pick agrees with a reference model" ~count:60
+    QCheck.(
+      pair small_nat
+        (list_of_size Gen.(int_range 100 400) (pair (int_range 0 15) bool)))
+    (fun (salt, ops) ->
+      let q = Pqueue.create () in
+      let live = ref [] in
+      List.iteri
+        (fun i (k, cancel) ->
+          let e = Pqueue.add q ~key:k ~seq:i (k, i) in
+          if cancel then Pqueue.remove q e else live := (k, i) :: !live)
+        ops;
+      let model = ref (List.sort compare !live) in
+      (* Both sides consult their pick exactly once per >=2-way choice, so
+         two counters with the same formula stay in lock-step. *)
+      let pick_with turn n =
+        incr turn;
+        ((!turn * 7) + salt) mod n
+      in
+      let turn_q = ref 0 and turn_m = ref 0 in
+      let ok = ref true in
+      let rec drain () =
+        match Pqueue.pop_pick q ~pick:(pick_with turn_q) with
+        | None -> if !model <> [] then ok := false
+        | Some (k, s, v) ->
+            (match !model with
+            | [] -> ok := false
+            | (kmin, _) :: _ ->
+                let cands = List.filter (fun (k', _) -> k' = kmin) !model in
+                let n = List.length cands in
+                let idx = if n >= 2 then pick_with turn_m n else 0 in
+                let expected = List.nth cands idx in
+                if (k, s) <> expected || v <> expected then ok := false
+                else model := List.filter (fun c -> c <> expected) !model);
+            if !ok then drain ()
+      in
+      drain ();
+      !ok && !model = [] && Pqueue.length q = 0)
+
 let pqueue_tests =
   [
     Alcotest.test_case "heap size shrinks after mass cancellation" `Quick
@@ -157,6 +202,7 @@ let pqueue_tests =
     qtest pqueue_pop_order;
     qtest pqueue_cancel_prop;
     qtest pqueue_compact_bound;
+    qtest pqueue_pop_pick_reference;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -271,6 +317,31 @@ let merge_equals_combined =
       abs_float (Stats.Summary.mean m -. Stats.Summary.mean c) < 1e-6
       && abs_float (Stats.Summary.variance m -. Stats.Summary.variance c) < 1e-5)
 
+(* The documented accuracy contract: any percentile of a log histogram is
+   within [0.5 /. sub_buckets] relative error of the exact ceil-rank
+   order statistic, for in-range samples. *)
+let log_histogram_percentile_accuracy =
+  QCheck.Test.make ~name:"log histogram percentile accuracy" ~count:100
+    QCheck.(list_of_size Gen.(int_range 20 300) (int_range 1 9_999_999))
+    (fun samples ->
+      let sub_buckets = 64 in
+      let h = Stats.Log_histogram.create ~lo:1.0 ~hi:1e7 ~sub_buckets in
+      let xs = List.map float_of_int samples in
+      List.iter (Stats.Log_histogram.add h) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      let tol = 0.5 /. float_of_int sub_buckets in
+      List.for_all
+        (fun p ->
+          let rank =
+            Stdlib.max 1
+              (int_of_float (ceil (p /. 100.0 *. float_of_int n)))
+          in
+          let exact = sorted.(rank - 1) in
+          let approx = Stats.Log_histogram.percentile h p in
+          Float.abs (approx -. exact) <= (tol *. exact) +. 1e-9)
+        [ 25.0; 50.0; 90.0; 99.0; 99.9; 100.0 ])
+
 let stats_tests =
   [
     Alcotest.test_case "summary basics" `Quick (fun () ->
@@ -307,6 +378,28 @@ let stats_tests =
         check Alcotest.int "bucket 9" 1 counts.(9);
         check Alcotest.int "under" 1 (Stats.Histogram.underflow h);
         check Alcotest.int "over" 1 (Stats.Histogram.overflow h));
+    Alcotest.test_case "histogram counts NaN apart from bucket 0" `Quick
+      (fun () ->
+        let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+        List.iter (Stats.Histogram.add h) [ 0.5; Float.nan; Float.nan ];
+        (* int_of_float nan is 0, so a NaN used to land in bucket 0. *)
+        check Alcotest.int "bucket 0" 1 (Stats.Histogram.bucket_counts h).(0);
+        check Alcotest.int "nan" 2 (Stats.Histogram.nan_count h);
+        check Alcotest.int "under" 0 (Stats.Histogram.underflow h);
+        check Alcotest.int "over" 0 (Stats.Histogram.overflow h));
+    Alcotest.test_case "log histogram bounds, NaN and exact max" `Quick
+      (fun () ->
+        let h = Stats.Log_histogram.create ~lo:1.0 ~hi:1e6 ~sub_buckets:32 in
+        List.iter (Stats.Log_histogram.add h)
+          [ 0.25; 3.0; 40_000.0; 2e7; Float.nan ];
+        check Alcotest.int "count" 5 (Stats.Log_histogram.count h);
+        check Alcotest.int "under" 1 (Stats.Log_histogram.underflow h);
+        check Alcotest.int "over" 1 (Stats.Log_histogram.overflow h);
+        check Alcotest.int "nan" 1 (Stats.Log_histogram.nan_count h);
+        check (Alcotest.float 1e-9) "max is exact" 2e7
+          (Stats.Log_histogram.max h);
+        check (Alcotest.float 1e-9) "p100 capped by max" 2e7
+          (Stats.Log_histogram.percentile h 100.0));
     Alcotest.test_case "time-weighted average" `Quick (fun () ->
         let w = Stats.Weighted.create ~at:Time.zero ~level:0.0 in
         Stats.Weighted.update w ~at:(Time.of_ns 100) ~level:1.0;
@@ -316,6 +409,7 @@ let stats_tests =
           (Stats.Weighted.average w ~upto:(Time.of_ns 200)));
     qtest summary_matches_oracle;
     qtest merge_equals_combined;
+    qtest log_histogram_percentile_accuracy;
   ]
 
 (* ------------------------------------------------------------------ *)

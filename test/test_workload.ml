@@ -246,6 +246,131 @@ let server_tests =
         let sa = run Kconfig.default `Fastthreads_on_sa in
         check Alcotest.bool "orig p99 at least 5x worse" true
           (orig > 5.0 *. sa));
+    Alcotest.test_case "makespan ends at the last completion" `Quick
+      (fun () ->
+        (* A run cut short may record a trailing arrival with no matching
+           completion; the makespan used to stretch to that arrival. *)
+        let r = Recorder.create () in
+        let at us = Time.of_ns (Time.us us) in
+        Recorder.observer r 0 (at 10);
+        Recorder.observer r 1 (at 20);
+        Recorder.observer r 2 (at 1000);
+        let params = { Server.default_params with Server.requests = 2 } in
+        let s = Server.summarize ~allow_incomplete:true r params in
+        check Alcotest.int "completed" 1 s.Server.completed;
+        check (Alcotest.float 1e-9) "makespan_ms" 0.01 s.Server.makespan_ms;
+        let ts =
+          Server.summarize_tenant ~allow_incomplete:true r ~requests:2
+            ~slo:(Time.ms 1)
+        in
+        check (Alcotest.float 1e-9) "tenant makespan_ms" 0.01
+          ts.Server.ts_makespan_ms;
+        check Alcotest.int "tenant completed" 1 ts.Server.ts_completed);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant serving                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_tenants params ~cpus =
+  let sys = System.create ~cpus () in
+  let tenants =
+    List.init params.Server.mt_tenants (fun i ->
+        let r = Recorder.create () in
+        let cls = Server.tenant_class params i in
+        let _job =
+          System.submit sys ~backend:`Fastthreads_on_sa
+            ~name:(Server.tenant_name params i)
+            ~space_priority:cls.Server.tc_priority
+            ~observer:(Recorder.observer r)
+            (Server.tenant_program params i)
+        in
+        (i, cls, r))
+  in
+  System.run sys;
+  List.map
+    (fun (i, cls, r) ->
+      ( i,
+        Server.summarize_tenant r ~requests:params.Server.mt_requests
+          ~slo:cls.Server.tc_slo ))
+    tenants
+
+let serve_tests =
+  [
+    Alcotest.test_case "every tenant's requests complete with sane stats"
+      `Quick (fun () ->
+        let params =
+          { Server.default_mt_params with Server.mt_tenants = 3; mt_requests = 25 }
+        in
+        let summaries = run_tenants params ~cpus:8 in
+        check Alcotest.int "tenants" 3 (List.length summaries);
+        List.iter
+          (fun (i, s) ->
+            let name = Server.tenant_name params i in
+            check Alcotest.int (name ^ " completed") 25 s.Server.ts_completed;
+            check Alcotest.bool (name ^ " percentiles ordered") true
+              (s.Server.ts_p50_us <= s.Server.ts_p99_us
+              && s.Server.ts_p99_us <= s.Server.ts_p999_us
+              && s.Server.ts_p999_us <= s.Server.ts_max_us);
+            check Alcotest.bool (name ^ " violation_frac in range") true
+              (s.Server.ts_violation_frac >= 0.0
+              && s.Server.ts_violation_frac <= 1.0);
+            check Alcotest.bool (name ^ " violations consistent") true
+              (s.Server.ts_violations <= s.Server.ts_completed);
+            check Alcotest.bool (name ^ " makespan positive") true
+              (s.Server.ts_makespan_ms > 0.0))
+          summaries);
+    Alcotest.test_case "a tenant's arrivals ignore other tenants" `Quick
+      (fun () ->
+        (* Tenant 1's program depends only on (seed, index): running it
+           alone or alongside five others must observe identical arrival
+           stamps (completions may differ under contention). *)
+        let arrivals params =
+          let sys = System.create ~cpus:16 () in
+          let r = Recorder.create () in
+          let _job =
+            System.submit sys ~backend:`Fastthreads_on_sa ~name:"t1"
+              ~observer:(Recorder.observer r)
+              (Server.tenant_program params 1)
+          in
+          System.run sys;
+          List.filter (fun (id, _) -> id mod 2 = 0) (Recorder.stamps r)
+        in
+        let small =
+          { Server.default_mt_params with Server.mt_tenants = 2; mt_requests = 15 }
+        in
+        let large = { small with Server.mt_tenants = 6 } in
+        check Alcotest.bool "same arrivals" true
+          (arrivals small = arrivals large));
+    Alcotest.test_case "serving run is deterministic in its seed" `Quick
+      (fun () ->
+        let params =
+          { Server.default_mt_params with Server.mt_tenants = 3; mt_requests = 20 }
+        in
+        let fingerprint () =
+          List.map
+            (fun (_, s) ->
+              (s.Server.ts_p99_us, s.Server.ts_makespan_ms))
+            (run_tenants params ~cpus:8)
+        in
+        check Alcotest.bool "same stats" true (fingerprint () = fingerprint ()));
+    Alcotest.test_case "latency histogram percentiles are accurate" `Quick
+      (fun () ->
+        (* The accumulator summarize_tenant uses: feed 1..1000 us and
+           expect every percentile within the documented 0.8% bound. *)
+        let h = Server.latency_histogram () in
+        for i = 1 to 1000 do
+          Sa_engine.Stats.Log_histogram.add h (float_of_int i)
+        done;
+        List.iter
+          (fun p ->
+            let exact = ceil (p /. 100.0 *. 1000.0) in
+            let approx = Sa_engine.Stats.Log_histogram.percentile h p in
+            check Alcotest.bool
+              (Printf.sprintf "p%g within bound" p)
+              true
+              (Float.abs (approx -. exact) <= 0.008 *. exact))
+          [ 50.0; 90.0; 99.0; 99.9 ]);
   ]
 
 let () =
@@ -255,4 +380,5 @@ let () =
       ("latency", latency_tests);
       ("nbody", nbody_tests);
       ("server", server_tests);
+      ("serve", serve_tests);
     ]
