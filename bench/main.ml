@@ -20,6 +20,8 @@
      bench/main.exe                 run the full paper harness (default)
      bench/main.exe table1 figure2  run selected experiments
      bench/main.exe micro           run the Bechamel micro-benchmarks
+     bench/main.exe micro --record  write engine-gate baselines (MICRO_BASELINE.txt)
+     bench/main.exe micro --check   fail if any gated benchmark regressed >5x
      bench/main.exe all             paper harness + micro-benchmarks
      bench/main.exe scale           32/64-CPU, ~10k-thread fork-join stress
      bench/main.exe serve           24-tenant serving with per-tenant SLOs
@@ -305,6 +307,9 @@ type scale_row = {
   sc_upcalls : int;
   sc_dispatches : int;
   sc_reallocations : int;
+  sc_events : int;  (* engine events fired (deterministic per schedule) *)
+  sc_wall_ms : float;  (* host wall-clock for the run (machine-dependent) *)
+  sc_events_per_s_wall : float;  (* engine event throughput against wall *)
 }
 
 let scale_configs = [ (32, 10_000); (64, 10_000) ]
@@ -320,6 +325,9 @@ let scale_one ~cpus ~threads =
   let module Program = Sa_program.Program in
   let module Ft_core = Sa_uthread.Ft_core in
   let sys = System.create ~cpus () in
+  (* Throughput run: nothing reads the trace, so recording it would only
+     tax the measurement. *)
+  Sa_engine.Trace.set_recording (Sa_engine.Sim.trace (System.sim sys)) false;
   (* Two-level fan-out: the root forks one branch per processor, each
      branch forks its share of leaves, so forking itself runs in
      parallel.  Leaves yield mid-compute to exercise the queue
@@ -352,8 +360,13 @@ let scale_one ~cpus ~threads =
   in
   let makespan_ms = Time.span_to_ms elapsed in
   let completed = ft.Ft_core.completions in
-  Printf.eprintf "scale: %d cpus, %d threads: %.1f ms simulated, %.0f ms wall\n%!"
-    cpus completed makespan_ms wall_ms;
+  let events = Sa_engine.Sim.events (System.sim sys) in
+  let events_per_s_wall = float_of_int events /. (wall_ms /. 1e3) in
+  Printf.eprintf
+    "scale: %d cpus, %d threads: %.1f ms simulated, %.0f ms wall, %d events \
+     (%.2fM events/s wall)\n\
+     %!"
+    cpus completed makespan_ms wall_ms events (events_per_s_wall /. 1e6);
   {
     sc_cpus = cpus;
     sc_threads = completed;
@@ -363,6 +376,9 @@ let scale_one ~cpus ~threads =
     sc_upcalls = st.Kernel.upcalls;
     sc_dispatches = ft.Ft_core.dispatches;
     sc_reallocations = st.Kernel.reallocations;
+    sc_events = events;
+    sc_wall_ms = wall_ms;
+    sc_events_per_s_wall = events_per_s_wall;
   }
 
 let run_scale () =
@@ -393,6 +409,9 @@ let print_scale_json rows =
                   ("upcalls", int r.sc_upcalls);
                   ("dispatches", int r.sc_dispatches);
                   ("reallocations", int r.sc_reallocations);
+                  ("events_total", int r.sc_events);
+                  ("wall_ms", fl r.sc_wall_ms);
+                  ("events_per_s_wall", fl r.sc_events_per_s_wall);
                 ])
             rows );
     ];
@@ -401,13 +420,15 @@ let print_scale_json rows =
 
 let print_scale_text rows =
   Printf.printf "\n%s\n%s\n" scale_title (String.make 78 '-');
-  Printf.printf "%6s %8s %12s %14s %8s %8s %10s %7s\n" "cpus" "threads"
-    "makespan_ms" "thr/sim-sec" "steals" "upcalls" "dispatches" "realloc";
+  Printf.printf "%6s %8s %12s %14s %8s %8s %10s %7s %9s %8s %11s\n" "cpus"
+    "threads" "makespan_ms" "thr/sim-sec" "steals" "upcalls" "dispatches"
+    "realloc" "events" "wall_ms" "ev/s-wall";
   List.iter
     (fun r ->
-      Printf.printf "%6d %8d %12.2f %14.0f %8d %8d %10d %7d\n" r.sc_cpus
-        r.sc_threads r.sc_makespan_ms r.sc_throughput r.sc_steals r.sc_upcalls
-        r.sc_dispatches r.sc_reallocations)
+      Printf.printf "%6d %8d %12.2f %14.0f %8d %8d %10d %7d %9d %8.1f %11.0f\n"
+        r.sc_cpus r.sc_threads r.sc_makespan_ms r.sc_throughput r.sc_steals
+        r.sc_upcalls r.sc_dispatches r.sc_reallocations r.sc_events r.sc_wall_ms
+        r.sc_events_per_s_wall)
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -436,7 +457,7 @@ let serve_title =
 
 let run_serve () =
   let t0 = Unix.gettimeofday () in
-  let s = E.serve ~params:serve_params ~cpus:serve_cpus () in
+  let s = E.serve ~params:serve_params ~cpus:serve_cpus ~tracing:false () in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   Printf.eprintf "serve: %d tenants, %d cpus: %.1f ms simulated, %.0f ms wall\n%!"
     s.E.v_tenant_count s.E.v_cpus s.E.v_elapsed_ms wall_ms;
@@ -579,30 +600,169 @@ let simulator_tests =
                 (Barneshut.Octree.force_on tree ~theta:0.7 ~eps:0.05 bodies.(0))));
     ]
 
+(* The calendar queue measured on the access patterns the simulator
+   actually generates: monotone seqs, time mostly advancing, a few events
+   per instant, cancel-heavy timer traffic.  The steady-state variants
+   reuse one queue across runs so the slab is warm — that is the
+   configuration whose regressions matter. *)
+let calq_bench =
+  let module Calq = Sa_engine.Calq in
+  Test.make_grouped ~name:"calq"
+    [
+      Test.make ~name:"add+pop cold x1000"
+        (Staged.stage (fun () ->
+             let q = Calq.create () in
+             for i = 0 to 999 do
+               ignore (Calq.add q ~key:(i * 7919 mod 1000) ~seq:i i)
+             done;
+             let rec drain () =
+               match Calq.pop q with Some _ -> drain () | None -> ()
+             in
+             drain ()));
+      Test.make ~name:"steady add+pop x1000"
+        (Staged.stage
+           (let q = Calq.create () in
+            let seq = ref 0 in
+            fun () ->
+              (* key = seq/4: time advances with ~4 events per instant,
+                 the simulator's same-instant FIFO fast path. *)
+              for _ = 1 to 1000 do
+                ignore (Calq.add q ~key:(!seq lsr 2) ~seq:!seq !seq);
+                incr seq;
+                ignore (Calq.pop_exn q)
+              done));
+      Test.make ~name:"steady add+cancel churn x1000"
+        (Staged.stage
+           (let q = Calq.create () in
+            let seq = ref 0 in
+            fun () ->
+              (* 3 of 4 timers cancelled before firing, like the kernel's
+                 quantum timers under frequent rescheduling. *)
+              for i = 0 to 999 do
+                let h = Calq.add q ~key:(!seq lsr 2) ~seq:!seq !seq in
+                incr seq;
+                if i land 3 <> 0 then Calq.cancel q h
+                else ignore (Calq.pop_exn q)
+              done));
+    ]
+
+let micro_estimates test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  List.sort compare
+    (Hashtbl.fold
+       (fun name result acc ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> (name, est) :: acc
+         | Some _ | None -> acc)
+       results [])
+
 let run_micro () =
   print_newline ();
   print_endline (String.make 78 '-');
   print_endline "Bechamel micro-benchmarks (wall clock, ns per run)";
   print_endline (String.make 78 '-');
-  let benchmark test =
-    let instances = Instance.[ monotonic_clock ] in
-    let cfg =
-      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  List.iter
+    (fun test ->
+      List.iter
+        (fun (name, est) -> Printf.printf "%-44s %14.1f ns/run\n" name est)
+        (micro_estimates test))
+    [ paper_tests; simulator_tests; calq_bench ]
+
+(* ------------------------------------------------------------------ *)
+(* Micro regression gate                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [micro --record] writes per-benchmark ns/run baselines for the engine
+   groups; [micro --check] re-measures and fails (exit 1) when any gated
+   benchmark exceeds its baseline by the tolerance, or has disappeared.
+   Wall clock on shared CI runners is noisy, so the multiplier is wide:
+   the gate exists to catch order-of-magnitude regressions — an
+   accidental O(n) scan or a per-event allocation storm on the hot path —
+   not single-digit drift. *)
+let micro_gate_tolerance = 5.0
+let micro_gate_file = "bench/MICRO_BASELINE.txt"
+
+(* Engine groups only: the paper-table group re-runs whole simulations and
+   its variance comes from workload content, which the digest gate already
+   pins byte-for-byte. *)
+let micro_gate_estimates () =
+  micro_estimates simulator_tests @ micro_estimates calq_bench
+  |> List.sort compare
+
+let micro_record () =
+  let ests = micro_gate_estimates () in
+  let oc = open_out micro_gate_file in
+  output_string oc
+    "# Micro-benchmark baselines (ns/run), written by `bench/main.exe micro \
+     --record`.\n";
+  Printf.fprintf oc
+    "# `micro --check` fails when a benchmark exceeds its baseline by more \
+     than %.0fx\n\
+     # (or vanishes); re-record on a quiet machine after intentional engine \
+     changes.\n"
+    micro_gate_tolerance;
+  List.iter (fun (n, e) -> Printf.fprintf oc "%s\t%.1f\n" n e) ests;
+  close_out oc;
+  Printf.printf "recorded %d baselines to %s\n" (List.length ests)
+    micro_gate_file
+
+let micro_check () =
+  let baselines =
+    let ic = open_in micro_gate_file in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      | "" -> go acc
+      | line when line.[0] = '#' -> go acc
+      | line -> (
+          match String.index_opt line '\t' with
+          | Some i ->
+              let name = String.sub line 0 i in
+              let v =
+                float_of_string
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              go ((name, v) :: acc)
+          | None -> go acc)
     in
-    let raw = Benchmark.all cfg instances test in
-    let ols =
-      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-    in
-    let results = Analyze.all ols (Instance.monotonic_clock) raw in
-    Hashtbl.iter
-      (fun name result ->
-        match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "%-40s %14.1f ns/run\n" name est
-        | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
-      results
+    go []
   in
-  benchmark paper_tests;
-  benchmark simulator_tests
+  let ests = micro_gate_estimates () in
+  let failed = ref 0 in
+  Printf.printf "%-44s %12s %12s %8s  gate\n" "benchmark" "baseline"
+    "measured" "ratio";
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name ests with
+      | None ->
+          incr failed;
+          Printf.printf "%-44s %12.1f %12s %8s  MISSING\n" name base "-" "-"
+      | Some est ->
+          let ratio = est /. base in
+          let ok = ratio <= micro_gate_tolerance in
+          if not ok then incr failed;
+          Printf.printf "%-44s %12.1f %12.1f %7.2fx  %s\n" name base est
+            ratio
+            (if ok then "ok" else "FAIL"))
+    baselines;
+  if !failed > 0 then begin
+    Printf.printf "%d micro-gate failure(s) (tolerance %.0fx)\n" !failed
+      micro_gate_tolerance;
+    exit 1
+  end
+  else
+    Printf.printf "micro gate clean: %d benchmarks within %.0fx of baseline\n"
+      (List.length baselines) micro_gate_tolerance
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -615,6 +775,17 @@ let find_experiment name =
   List.find_opt (fun (n, _, _) -> n = name) experiments
 
 let () =
+  (* A roomier minor heap (2M words = 16 MB) keeps short-lived per-event
+     values — closures, trace details, list spines — from being promoted
+     mid-run; space_overhead 200 halves major-GC work on what does
+     survive.  This shapes wall-clock numbers only, never simulated
+     results. *)
+  Gc.set
+    {
+      (Gc.get ()) with
+      Gc.minor_heap_size = 2 * 1024 * 1024;
+      space_overhead = 200;
+    };
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
   let args = List.filter (fun a -> a <> "--json") args in
@@ -643,6 +814,8 @@ let () =
   else
     match args with
     | [] -> run_paper ()
+    | [ "micro"; "--record" ] -> micro_record ()
+    | [ "micro"; "--check" ] -> micro_check ()
     | args ->
         List.iter
           (fun a ->

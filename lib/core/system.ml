@@ -121,7 +121,9 @@ let completion_time j =
   | J_ft_sa ft -> Ft_sa.completion_time ft
   | J_direct d -> Kt_direct.completion_time d
 
-let finished j = completion_time j <> None
+(* Evaluated once per simulated event by {!run}: avoid the polymorphic
+   [<> None]. *)
+let finished j = match completion_time j with None -> false | Some _ -> true
 let start_time j = j.j_started
 
 let elapsed j =

@@ -11,13 +11,17 @@ type 'a t = {
   mutable dead : int;
       (* cancelled entries still occupying heap slots; live count is
          [size - dead] *)
+  mutable scratch : 'a entry array;
+      (* reusable candidate buffer for [pop_pick]; holds stale entry
+         pointers between calls (bounded by the largest same-key cohort
+         seen, the usual retention trade for a scratch area) *)
 }
 
 (* The heap array holds a dummy sentinel in unused slots via Obj-free
    trickery: we instead keep the array dense in [0, size) and grow by
    doubling, so no sentinel is needed beyond the initial empty array. *)
 
-let create () = { heap = [||]; size = 0; dead = 0 }
+let create () = { heap = [||]; size = 0; dead = 0; scratch = [||] }
 
 let prio_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
@@ -62,6 +66,20 @@ let rec sift_down q i =
    Cancelled entries deep in the heap otherwise stay until they drift to
    the root, so a run that cancels most of its timers would grow the array
    without bound. *)
+(* Halve the backing array once occupancy drops below a quarter (floor 16
+   slots), so a queue that briefly held many entries gives the space back.
+   Shrinking to half, not to fit, keeps the next growth amortized. *)
+let maybe_shrink q =
+  let cap = Array.length q.heap in
+  if cap > 16 && q.size < cap / 4 then
+    if q.size = 0 then q.heap <- [||]
+    else begin
+      let ncap = max 16 (cap / 2) in
+      let nheap = Array.make ncap q.heap.(0) in
+      Array.blit q.heap 0 nheap 0 q.size;
+      q.heap <- nheap
+    end
+
 let compact q =
   let w = ref 0 in
   for r = 0 to q.size - 1 do
@@ -75,7 +93,8 @@ let compact q =
   q.dead <- 0;
   for i = (q.size / 2) - 1 downto 0 do
     sift_down q i
-  done
+  done;
+  maybe_shrink q
 
 (* Compaction threshold: amortized O(1) per cancellation — only when dead
    entries dominate and there are enough of them to pay for the rebuild. *)
@@ -113,6 +132,7 @@ let is_empty q =
 
 let length q = q.size - q.dead
 let heap_size q = q.size
+let heap_capacity q = Array.length q.heap
 
 let pop q =
   drain_dead q;
@@ -120,6 +140,7 @@ let pop q =
   else begin
     let e = pop_root q in
     e.state <- `Popped;
+    maybe_shrink q;
     Some (e.key, e.seq, e.value)
   end
 
@@ -143,29 +164,49 @@ let pop_pick q ~pick =
        key = kmin nodes are walked — O(candidates), not O(heap).
        Cancelled entries keep their heap position, so a dead kmin node
        still recurses (its children may hold live candidates). *)
-    let cands = ref [] in
+    (* Candidates go into the reusable scratch array — no list spine, no
+       [List.sort]/[List.nth] — then an insertion sort by [seq] (cohorts
+       are tiny and collected nearly in order; seqs are unique so
+       stability is moot). *)
+    let n = ref 0 in
+    let push e =
+      let cap = Array.length q.scratch in
+      if !n = cap then begin
+        let ns = Array.make (max 8 (2 * cap)) e in
+        Array.blit q.scratch 0 ns 0 !n;
+        q.scratch <- ns
+      end;
+      q.scratch.(!n) <- e;
+      incr n
+    in
     let rec walk i =
       if i < q.size then begin
         let e = q.heap.(i) in
         if e.key = kmin then begin
-          if e.state = `Live then cands := e :: !cands;
+          if e.state = `Live then push e;
           walk ((2 * i) + 1);
           walk ((2 * i) + 2)
         end
       end
     in
     walk 0;
-    let cands =
-      List.sort (fun a b -> compare a.seq b.seq) !cands
-    in
-    let n = List.length cands in
+    let n = !n in
+    for i = 1 to n - 1 do
+      let e = q.scratch.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && q.scratch.(!j).seq > e.seq do
+        q.scratch.(!j + 1) <- q.scratch.(!j);
+        decr j
+      done;
+      q.scratch.(!j + 1) <- e
+    done;
     let i =
       if n <= 1 then 0
       else
         let i = pick n in
         if i < 0 || i >= n then 0 else i
     in
-    let e = List.nth cands i in
+    let e = q.scratch.(i) in
     if e == q.heap.(0) then begin
       ignore (pop_root q);
       e.state <- `Popped
@@ -196,5 +237,6 @@ let to_list q =
     if e.state = `Live then live := (e.key, e.seq, e.value) :: !live
   done;
   List.sort
-    (fun (k1, s1, _) (k2, s2, _) -> compare (k1, s1) (k2, s2))
+    (fun (k1, s1, _) (k2, s2, _) ->
+      if k1 <> k2 then Int.compare k1 k2 else Int.compare s1 s2)
     !live

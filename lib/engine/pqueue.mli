@@ -26,6 +26,10 @@ val heap_size : 'a t -> int
 (** Heap slots currently occupied, live or cancelled (for tests asserting
     compaction bounds). *)
 
+val heap_capacity : 'a t -> int
+(** Backing-array slots currently allocated (for tests asserting the
+    shrink-on-drain bound). *)
+
 val add : 'a t -> key:int -> seq:int -> 'a -> 'a entry
 (** [add q ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
 

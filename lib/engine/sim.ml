@@ -1,4 +1,6 @@
-type handle = (unit -> unit) Pqueue.entry
+type handle = Calq.handle
+
+let null_handle = Calq.nil_handle
 
 type chooser = {
   ch_pick : site:string -> arity:int -> default:int -> int;
@@ -7,11 +9,12 @@ type chooser = {
 
 type t = {
   mutable clock : Time.t;
-  queue : (unit -> unit) Pqueue.t;
+  queue : (unit -> unit) Calq.t;
   mutable seq : int;
   trace : Trace.t;
   mutable same_instant : int;  (* events fired without the clock moving *)
   mutable same_instant_limit : int;
+  mutable events : int;  (* events fired since creation *)
   mutable chooser : chooser option;
 }
 
@@ -21,17 +24,19 @@ let create ?trace () =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
   {
     clock = Time.zero;
-    queue = Pqueue.create ();
+    queue = Calq.create ();
     seq = 0;
     trace;
     same_instant = 0;
     same_instant_limit = 200_000;
+    events = 0;
     chooser = None;
   }
 
 let now t = t.clock
 let trace t = t.trace
 let same_instant_count t = t.same_instant
+let events t = t.events
 let set_chooser t c = t.chooser <- c
 let chooser t = t.chooser
 
@@ -51,69 +56,63 @@ let schedule t ~at f =
     invalid_arg "Sim.schedule: event in the past";
   let seq = t.seq in
   t.seq <- seq + 1;
-  Pqueue.add t.queue ~key:(Time.to_ns at) ~seq f
+  Calq.add t.queue ~key:(Time.to_ns at) ~seq f
 
 let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
-let cancel t h = Pqueue.remove t.queue h
-let pending t = Pqueue.length t.queue
+let cancel t h = Calq.cancel t.queue h
+let pending t = Calq.length t.queue
 
 let set_same_instant_limit t n =
   if n <= 0 then invalid_arg "Sim.set_same_instant_limit";
   t.same_instant_limit <- n
 
-(* With no chooser installed this is exactly [Pqueue.pop]; with one, the
-   chooser selects among same-instant candidates ([Pqueue.pop_pick] only
+(* With no chooser installed this is exactly [Calq.pop_exn]; with one, the
+   chooser selects among same-instant candidates ([Calq.pop_pick_exn] only
    consults it when at least two exist, so arity-1 "choices" never reach a
    recorder). *)
-let pop_next t =
-  match t.chooser with
-  | None -> Pqueue.pop t.queue
-  | Some c ->
-      Pqueue.pop_pick t.queue ~pick:(fun n ->
-          let i = c.ch_pick ~site:"sim-order" ~arity:n ~default:0 in
-          if i < 0 || i >= n then 0 else i)
-
 let step t =
-  match pop_next t with
-  | None -> false
-  | Some (key, _seq, f) ->
-      let at = Time.of_ns key in
-      if Time.compare at t.clock > 0 then begin
-        t.clock <- at;
-        t.same_instant <- 0
-      end
-      else begin
-        t.same_instant <- t.same_instant + 1;
-        if t.same_instant > t.same_instant_limit then
-          raise
-            (Stalled
-               (Printf.sprintf
-                  "livelock: %d events fired without the clock advancing \
-                   [clock=%s pending=%d same-instant=%d]"
-                  t.same_instant
-                  (Format.asprintf "%a" Time.pp t.clock)
-                  (Pqueue.length t.queue) t.same_instant))
-      end;
-      f ();
-      true
+  if Calq.is_empty t.queue then false
+  else begin
+    let f =
+      match t.chooser with
+      | None -> Calq.pop_exn t.queue
+      | Some c ->
+          Calq.pop_pick_exn t.queue ~pick:(fun n ->
+              let i = c.ch_pick ~site:"sim-order" ~arity:n ~default:0 in
+              if i < 0 || i >= n then 0 else i)
+    in
+    let at = Time.of_ns (Calq.last_key t.queue) in
+    if Time.compare at t.clock > 0 then begin
+      t.clock <- at;
+      t.same_instant <- 0
+    end
+    else begin
+      t.same_instant <- t.same_instant + 1;
+      if t.same_instant > t.same_instant_limit then
+        raise
+          (Stalled
+             (Printf.sprintf
+                "livelock: %d events fired without the clock advancing \
+                 [clock=%s pending=%d same-instant=%d]"
+                t.same_instant
+                (Format.asprintf "%a" Time.pp t.clock)
+                (Calq.length t.queue) t.same_instant))
+    end;
+    t.events <- t.events + 1;
+    f ();
+    true
+  end
 
 let run ?until t =
-  let continue () =
-    match until with
-    | None -> true
-    | Some limit -> (
-        match Pqueue.peek_key t.queue with
-        | None -> false
-        | Some (key, _) -> Time.compare (Time.of_ns key) limit <= 0)
-  in
-  while (not (Pqueue.is_empty t.queue)) && continue () do
+  let limit = match until with None -> max_int | Some l -> Time.to_ns l in
+  while (not (Calq.is_empty t.queue)) && Calq.next_key t.queue <= limit do
     ignore (step t)
   done
 
 let run_for t d = run ~until:(Time.add t.clock d) t
 
 let run_while t pred =
-  while pred () && not (Pqueue.is_empty t.queue) do
+  while pred () && not (Calq.is_empty t.queue) do
     ignore (step t)
   done
 
@@ -121,7 +120,7 @@ let stall t msg =
   let msg =
     Printf.sprintf "%s [clock=%s pending=%d same-instant=%d]" msg
       (Format.asprintf "%a" Time.pp t.clock)
-      (Pqueue.length t.queue) t.same_instant
+      (Calq.length t.queue) t.same_instant
   in
   Trace.emitf t.trace ~time:t.clock Trace.Sim "STALL: %s" msg;
   raise (Stalled msg)

@@ -10,6 +10,10 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
+val null_handle : handle
+(** A handle naming no event: {!cancel} on it is a no-op.  Lets callers
+    keep a [handle] field without an option box. *)
+
 val create : ?trace:Trace.t -> unit -> t
 (** Fresh simulation at time {!Time.zero}. *)
 
@@ -56,6 +60,11 @@ val stall : t -> string -> 'a
     message carried by {!Stalled} is suffixed with the current clock, the
     pending-event count and the same-instant counter, so a failure report is
     enough to locate the stall in a deterministic replay. *)
+
+val events : t -> int
+(** Total events fired since creation (the throughput numerator reported by
+    [bench scale]).  Deterministic: a digest-identical schedule fires the
+    same number of events. *)
 
 val same_instant_count : t -> int
 (** Events fired at the current instant since the clock last advanced (the

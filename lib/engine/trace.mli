@@ -6,8 +6,10 @@
     ring buffer, can mirror them to a formatter as they arrive, and can
     stream them to structured sinks (e.g. the Chrome trace-event exporter in
     {!Trace_export}).  Tracing off the hot path costs one branch: every
-    emitter checks the category's enable bit before doing any formatting or
-    allocation. *)
+    emitter checks the category's enable bit (and the master
+    {!set_recording} switch) before doing any formatting or allocation.
+    The ring itself is flattened into parallel arrays, so recording a
+    span allocates nothing unless a live formatter or sink is attached. *)
 
 type category =
   | Sim  (** engine-level events *)
@@ -49,6 +51,18 @@ val create : ?capacity:int -> unit -> t
 
 val enable : t -> category -> bool -> unit
 (** Toggle recording of a category.  All categories start enabled. *)
+
+val set_recording : t -> bool -> unit
+(** Master recording switch, [true] at creation.  When off, {!enabled} is
+    [false] for every category: nothing reaches the ring, the live
+    formatter, or the sinks, and every emitter's guard short-circuits —
+    callers that build detail strings behind {!enabled} checks pay nothing.
+    Benchmarks measuring engine throughput turn this off; leave it on when
+    any observer (trace export, explore coverage sinks) needs the
+    stream. *)
+
+val recording : t -> bool
+(** Current state of the master switch. *)
 
 val set_live : t -> Format.formatter option -> unit
 (** When set, records are also printed (text format) as they are emitted. *)

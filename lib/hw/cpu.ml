@@ -9,17 +9,19 @@ type occupant =
   | Kernel_idle
   | Occupant of { space : int; detail : string }
 
-type segment = {
-  started : Time.t;
-  length : Time.span;
-  continue : unit -> unit;
-  event : Sim.handle;
-}
-
+(* The running segment is flattened into mutable fields ([run_active]
+   gates them) and the completion continuation is a single closure
+   allocated at [create]: beginning a segment — the per-dispatch hot path —
+   then allocates nothing at all. *)
 type t = {
   sim : Sim.t;
   cpu_id : id;
-  mutable running : segment option;
+  mutable run_active : bool;
+  mutable run_started : Time.t;
+  mutable run_length : Time.span;
+  mutable run_continue : unit -> unit;
+  mutable run_event : Sim.handle;
+  mutable finish : unit -> unit;  (* preallocated segment-end event *)
   mutable who : occupant;
   mutable busy_ns : Time.span;
   mutable segments : int;
@@ -33,23 +35,6 @@ type preempted = {
   remaining : Time.span;
   resume : unit -> unit;
 }
-
-let create sim cpu_id =
-  {
-    sim;
-    cpu_id;
-    running = None;
-    who = Nobody;
-    busy_ns = 0;
-    segments = 0;
-    on_busy = ignore;
-  }
-
-let id t = t.cpu_id
-let is_busy t = t.running <> None
-let occupant t = t.who
-let set_occupant t who = t.who <- who
-let set_busy_hook t f = t.on_busy <- f
 
 (* Each busy segment becomes one span on this CPU's track. *)
 let segment_label who =
@@ -69,54 +54,83 @@ let trace_segment_end t ~who ?detail () =
   Trace.span_end (Sim.trace t.sim) ~time:(Sim.now t.sim) ~cpu:t.cpu_id
     ~space:(segment_space who) ?detail Trace.Cpu (segment_label who)
 
+let create sim cpu_id =
+  let t =
+    {
+      sim;
+      cpu_id;
+      run_active = false;
+      run_started = Time.zero;
+      run_length = 0;
+      run_continue = ignore;
+      run_event = Sim.null_handle;
+      finish = ignore;
+      who = Nobody;
+      busy_ns = 0;
+      segments = 0;
+      on_busy = ignore;
+    }
+  in
+  t.finish <-
+    (fun () ->
+      let who = t.who in
+      let k = t.run_continue in
+      t.run_active <- false;
+      t.run_continue <- ignore;
+      t.who <- Nobody;
+      t.busy_ns <- t.busy_ns + t.run_length;
+      trace_segment_end t ~who ();
+      t.on_busy false;
+      k ());
+  t
+
+let id t = t.cpu_id
+let is_busy t = t.run_active
+let occupant t = t.who
+let set_occupant t who = t.who <- who
+let set_busy_hook t f = t.on_busy <- f
+
 let begin_work t ~occupant ~length k =
-  if t.running <> None then
+  if t.run_active then
     invalid_arg
       (Printf.sprintf "Cpu.begin_work: cpu %d already busy" t.cpu_id);
   if length < 0 then invalid_arg "Cpu.begin_work: negative length";
   t.who <- occupant;
   t.segments <- t.segments + 1;
   trace_segment_begin t;
-  let started = Sim.now t.sim in
-  let event =
-    Sim.schedule_after t.sim ~delay:length (fun () ->
-        let who = t.who in
-        t.running <- None;
-        t.who <- Nobody;
-        t.busy_ns <- t.busy_ns + length;
-        trace_segment_end t ~who ();
-        t.on_busy false;
-        k ())
-  in
-  t.running <- Some { started; length; continue = k; event };
+  t.run_active <- true;
+  t.run_started <- Sim.now t.sim;
+  t.run_length <- length;
+  t.run_continue <- k;
+  t.run_event <- Sim.schedule_after t.sim ~delay:length t.finish;
   t.on_busy true
 
 let preempt t =
-  match t.running with
-  | None -> None
-  | Some seg ->
-      Sim.cancel t.sim seg.event;
-      let who = t.who in
-      t.running <- None;
-      t.who <- Nobody;
-      let elapsed = Time.diff (Sim.now t.sim) seg.started in
-      let remaining = seg.length - elapsed in
-      t.busy_ns <- t.busy_ns + elapsed;
-      trace_segment_end t ~who ~detail:"preempted" ();
-      t.on_busy false;
-      Some { elapsed; remaining; resume = seg.continue }
+  if not t.run_active then None
+  else begin
+    Sim.cancel t.sim t.run_event;
+    let who = t.who in
+    let resume = t.run_continue in
+    t.run_active <- false;
+    t.run_continue <- ignore;
+    t.who <- Nobody;
+    let elapsed = Time.diff (Sim.now t.sim) t.run_started in
+    let remaining = t.run_length - elapsed in
+    t.busy_ns <- t.busy_ns + elapsed;
+    trace_segment_end t ~who ~detail:"preempted" ();
+    t.on_busy false;
+    Some { elapsed; remaining; resume }
+  end
 
 let busy_time t = t.busy_ns
 let segment_count t = t.segments
 
 let pp ppf t =
   let state =
-    match t.running with
-    | None -> "idle"
-    | Some seg ->
-        Format.asprintf "busy(%a left)"
-          Time.pp_span
-          (seg.length - Time.diff (Sim.now t.sim) seg.started)
+    if not t.run_active then "idle"
+    else
+      Format.asprintf "busy(%a left)" Time.pp_span
+        (t.run_length - Time.diff (Sim.now t.sim) t.run_started)
   in
   let who =
     match t.who with

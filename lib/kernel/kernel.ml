@@ -168,7 +168,10 @@ let create sim machine costs cfg =
           slot_kt = None;
           slot_act = None;
           slot_delivery = None;
-          slot_quantum = None;
+          slot_quantum = Sim.null_handle;
+          slot_q_gen = 0;
+          slot_q_ktid = -1;
+          slot_q_fire = quantum_fire_unset;
           slot_gen = 0;
           slot_warned = false;
         })
@@ -271,7 +274,7 @@ let dump t ppf =
         (match slot.slot_act with
         | Some a -> Printf.sprintf "act%d" a.act_id
         | None -> "-")
-        (slot.slot_quantum <> None))
+        (not (slot.slot_quantum == Sim.null_handle)))
     t.slots;
   List.iter
     (fun (prio, q) ->

@@ -95,33 +95,39 @@ let rec dispatch_kt_on t slot kt =
 
 and arm_quantum t slot kt =
   cancel_quantum t slot;
-  let gen = slot.slot_gen in
-  (* Preempt at quantum end only if a peer of sufficient priority waits:
-     the global queue under native mode, the space's own queue under
-     explicit allocation. *)
-  let contender_waiting () =
-    match t.cfg.Kconfig.mode with
-    | Kconfig.Native_oblivious -> (
-        match runq_head_prio t with
-        | Some p -> p >= kt.kt_prio
-        | None -> false)
-    | Kconfig.Explicit_allocation -> (
-        match kt.kt_sp.sp_kind with
-        | Kthreads k -> not (Queue.is_empty k.local_runq)
-        | Sa _ -> false)
-  in
+  (* The timer callback is one closure per slot, built on first use; re-arms
+     only rewrite the armed-for fields.  The dispatch hot path runs this once
+     per kthread dispatch, so the Some/closure pair it used to allocate was
+     measurable in the scale benchmark. *)
+  if slot.slot_q_fire == quantum_fire_unset then
+    slot.slot_q_fire <- (fun () -> quantum_fire t slot);
+  slot.slot_q_gen <- slot.slot_gen;
+  slot.slot_q_ktid <- kt.kt_id;
   slot.slot_quantum <-
-    Some
-      (Sim.schedule_after t.sim ~delay:t.costs.Cost_model.time_slice
-         (fun () ->
-           slot.slot_quantum <- None;
-           let still_running =
-             slot.slot_gen = gen
-             && match slot.slot_kt with Some k -> k == kt | None -> false
-           in
-           if still_running then
-             if contender_waiting () then timeslice_preempt t slot kt
-             else arm_quantum t slot kt))
+    Sim.schedule_after t.sim ~delay:t.costs.Cost_model.time_slice
+      slot.slot_q_fire
+
+and quantum_fire t slot =
+  slot.slot_quantum <- Sim.null_handle;
+  match slot.slot_kt with
+  | Some kt when slot.slot_gen = slot.slot_q_gen && kt.kt_id = slot.slot_q_ktid ->
+      (* Preempt at quantum end only if a peer of sufficient priority waits:
+         the global queue under native mode, the space's own queue under
+         explicit allocation. *)
+      let contender_waiting =
+        match t.cfg.Kconfig.mode with
+        | Kconfig.Native_oblivious -> (
+            match runq_head_prio t with
+            | Some p -> p >= kt.kt_prio
+            | None -> false)
+        | Kconfig.Explicit_allocation -> (
+            match kt.kt_sp.sp_kind with
+            | Kthreads k -> not (Queue.is_empty k.local_runq)
+            | Sa _ -> false)
+      in
+      if contender_waiting then timeslice_preempt t slot kt
+      else arm_quantum t slot kt
+  | _ -> ()
 
 and timeslice_preempt t slot kt =
   t.st_kt_timeslices <- t.st_kt_timeslices + 1;
@@ -311,6 +317,7 @@ let spawn_kthread_gen t sp ~name ~prio ~random_wake ?(startup_cost = 0) ~body
       kt_id = fresh_id t;
       kt_sp = sp;
       kt_name = name;
+      kt_occ = make_kt_occ ~sp ~name;
       kt_prio = prio;
       kt_random_wake = random_wake;
       kt_state = K_blocked;

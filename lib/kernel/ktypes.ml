@@ -51,6 +51,7 @@ type kthread = {
   kt_id : int;
   kt_sp : space;
   kt_name : string;
+  kt_occ : Cpu.occupant;  (* cached: charged on every segment *)
   kt_prio : int;
   kt_random_wake : bool;
       (* native-mode daemons: the wakeup interrupt lands on an arbitrary
@@ -63,7 +64,18 @@ type kthread = {
 and activation = {
   act_id : int;
   act_sp : space;
+  (* Cached occupant records, one per segment label the SA machinery
+     charges with: building one per segment showed up in profiles. *)
+  act_occ_uthread : Cpu.occupant;
+  act_occ_manager : Cpu.occupant;
+  act_occ_upcall : Cpu.occupant;
   mutable act_state : act_state;
+  mutable act_charge_k : unit -> unit;
+      (* continuation of the activation's in-flight charging segment; read
+         and cleared by [act_charge_done] when the segment completes *)
+  mutable act_charge_done : unit -> unit;
+      (* preallocated completion wrapper (clears [act_repair], runs
+         [act_charge_k]): charging a segment allocates nothing *)
   mutable act_repair : (unit -> unit) option;
       (* set while the activation runs a user-level *manager* segment
          (dispatch decision, idle spin): on preemption the kernel calls this
@@ -124,7 +136,13 @@ and slot = {
       (* events of an upcall whose delivery segment is still charging on
          this processor; requeued, not lost, if the processor is preempted
          before the user level receives them *)
-  mutable slot_quantum : Sim.handle option;
+  mutable slot_quantum : Sim.handle;
+      (* pending quantum-expiry timer; {!Sim.null_handle} when unarmed.  The
+         timer callback is the preallocated [slot_q_fire] closure — re-arming
+         a quantum writes these fields instead of allocating. *)
+  mutable slot_q_gen : int;  (* slot_gen captured when the quantum was armed *)
+  mutable slot_q_ktid : int;  (* kt_id the quantum was armed for *)
+  mutable slot_q_fire : unit -> unit;
   mutable slot_gen : int;
   mutable slot_warned : bool;
       (* a Psyche/Symunix-style preemption warning is outstanding on this
@@ -203,8 +221,10 @@ let same_space a b = a.sp_id = b.sp_id
    consistent. *)
 let set_assigned t sp v =
   sp.sp_assigned <- v;
-  Trace.counter (Sim.trace t.sim) ~time:(Sim.now t.sim) Trace.Kernel
-    ("procs:" ^ sp.sp_name) (float_of_int v);
+  (let tr = Sim.trace t.sim in
+   if Trace.enabled tr Trace.Kernel then
+     Trace.counter tr ~time:(Sim.now t.sim) Trace.Kernel
+       ("procs:" ^ sp.sp_name) (float_of_int v));
   match sp.sp_alloc_track with
   | Some w ->
       Sa_engine.Stats.Weighted.update w ~at:(Sim.now t.sim)
@@ -283,20 +303,22 @@ let register_space t sp =
 (* Slot helpers                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let kt_occupant kt =
-  Cpu.Occupant { space = kt.kt_sp.sp_id; detail = kt.kt_name }
+let kt_occupant kt = kt.kt_occ
 
-let act_occupant act detail =
-  Cpu.Occupant { space = act.act_sp.sp_id; detail }
+(* Build the cached occupants at record creation. *)
+let make_kt_occ ~sp ~name = Cpu.Occupant { space = sp.sp_id; detail = name }
+let make_act_occ sp detail = Cpu.Occupant { space = sp.sp_id; detail }
 
 let slot_of_cpu t cpu_id = t.slots.(cpu_id)
 
+(* Sentinel for [slot_q_fire]-not-yet-built.  A named closure, not [ignore]:
+   [ignore] is the [%ignore] primitive and eta-expands to a distinct closure
+   at every use site, so identity tests against it are meaningless. *)
+let quantum_fire_unset : unit -> unit = fun () -> ()
+
 let cancel_quantum t slot =
-  match slot.slot_quantum with
-  | Some h ->
-      Sim.cancel t.sim h;
-      slot.slot_quantum <- None
-  | None -> ()
+  Sim.cancel t.sim slot.slot_quantum;
+  slot.slot_quantum <- Sim.null_handle
 
 let kt_runnable_delta sp d =
   match sp.sp_kind with

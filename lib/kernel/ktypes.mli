@@ -38,6 +38,7 @@ type kthread = {
   kt_id : int;
   kt_sp : space;
   kt_name : string;
+  kt_occ : Cpu.occupant;  (** cached: charged on every segment *)
   kt_prio : int;
   kt_random_wake : bool;
   mutable kt_state : kt_state;
@@ -48,7 +49,12 @@ type kthread = {
 and activation = {
   act_id : int;
   act_sp : space;
+  act_occ_uthread : Cpu.occupant;  (** cached per-label occupants: *)
+  act_occ_manager : Cpu.occupant;  (** building one per charged segment *)
+  act_occ_upcall : Cpu.occupant;  (** showed up in profiles *)
   mutable act_state : act_state;
+  mutable act_charge_k : unit -> unit;
+  mutable act_charge_done : unit -> unit;
   mutable act_repair : (unit -> unit) option;
 }
 
@@ -95,7 +101,10 @@ and slot = {
   mutable slot_kt : kthread option;
   mutable slot_act : activation option;
   mutable slot_delivery : Upcall.event list option;
-  mutable slot_quantum : Sim.handle option;
+  mutable slot_quantum : Sim.handle;
+  mutable slot_q_gen : int;
+  mutable slot_q_ktid : int;
+  mutable slot_q_fire : unit -> unit;
   mutable slot_gen : int;
   mutable slot_warned : bool;
 }
@@ -206,8 +215,13 @@ val defer : t -> (unit -> unit) -> unit
 val upcall_cost : t -> Time.span
 val ncpus : t -> int
 val kt_occupant : kthread -> Cpu.occupant
-val act_occupant : activation -> string -> Cpu.occupant
+val make_kt_occ : sp:space -> name:string -> Cpu.occupant
+val make_act_occ : space -> string -> Cpu.occupant
 val slot_of_cpu : t -> int -> slot
+val quantum_fire_unset : unit -> unit
+(** Sentinel marking [slot_q_fire] as not yet built (identity-tested; a
+    named closure because [ignore] eta-expands per use site). *)
+
 val cancel_quantum : t -> slot -> unit
 val kt_runnable_delta : space -> int -> unit
 

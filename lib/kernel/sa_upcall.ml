@@ -30,10 +30,21 @@ let alloc_activation t sp =
         {
           act_id = fresh_id t;
           act_sp = sp;
+          act_occ_uthread = make_act_occ sp "uthread";
+          act_occ_manager = make_act_occ sp "manager";
+          act_occ_upcall = make_act_occ sp "upcall";
           act_state = A_stopped;
+          act_charge_k = ignore;
+          act_charge_done = ignore;
           act_repair = None;
         }
       in
+      act.act_charge_done <-
+        (fun () ->
+          let k = act.act_charge_k in
+          act.act_charge_k <- ignore;
+          act.act_repair <- None;
+          k ());
       Hashtbl.replace t.acts act.act_id act;
       (act, t.costs.Cost_model.activation_fresh_alloc)
 
@@ -84,7 +95,7 @@ let deliver_upcall t slot sp ~extra_cost events =
   in
   let cost = upcall_cost t + alloc_cost + extra_cost + fault_cost in
   slot.slot_delivery <- Some events;
-  charge_on_slot slot ~occupant:(act_occupant act "upcall") ~cost (fun () ->
+  charge_on_slot slot ~occupant:act.act_occ_upcall ~cost (fun () ->
       slot.slot_delivery <- None;
       List.iter (trace_event_span `E) (List.rev events);
       s.client.on_upcall
@@ -130,6 +141,7 @@ let stop_activation_on t slot =
             (List.rev events);
           s.pending <- List.rev_append events s.pending;
           victim.act_state <- A_free;
+          victim.act_charge_k <- ignore;
           victim.act_repair <- None;
           if t.cfg.Kconfig.activation_pooling then s.pool <- victim :: s.pool;
           []
@@ -137,6 +149,7 @@ let stop_activation_on t slot =
           match victim.act_repair with
           | Some repair ->
               victim.act_repair <- None;
+              victim.act_charge_k <- ignore;
               victim.act_state <- A_free;
               if t.cfg.Kconfig.activation_pooling then
                 s.pool <- victim :: s.pool;
@@ -147,7 +160,21 @@ let stop_activation_on t slot =
               let ctx =
                 match preempted with
                 | Some p ->
-                    { Upcall.remaining = p.Cpu.remaining; resume = p.Cpu.resume }
+                    (* If the interrupted segment was charged through
+                       [sa_charge], its resume is the victim's shared
+                       completion wrapper, whose continuation slot the
+                       pooled record may reuse before this context is
+                       redispatched.  Detach the real continuation now —
+                       preemption is cold, the allocation is fine here. *)
+                    let resume =
+                      if p.Cpu.resume == victim.act_charge_done then begin
+                        let k = victim.act_charge_k in
+                        victim.act_charge_k <- ignore;
+                        k
+                      end
+                      else p.Cpu.resume
+                    in
+                    { Upcall.remaining = p.Cpu.remaining; resume }
                 | None -> { Upcall.remaining = 0; resume = (fun () -> ()) }
               in
               [ Upcall.Processor_preempted { act = victim.act_id; ctx } ]))
@@ -186,10 +213,13 @@ let sa_charge ?repair t act cost k =
   | A_running cpu_id ->
       let slot = slot_of_cpu t cpu_id in
       act.act_repair <- repair;
-      let detail = match repair with Some _ -> "manager" | None -> "uthread" in
-      charge_on_slot slot ~occupant:(act_occupant act detail) ~cost (fun () ->
-          act.act_repair <- None;
-          k ())
+      let occupant =
+        match repair with
+        | Some _ -> act.act_occ_manager
+        | None -> act.act_occ_uthread
+      in
+      act.act_charge_k <- k;
+      charge_on_slot slot ~occupant ~cost act.act_charge_done
   | A_blocked | A_stopped | A_free ->
       failwith "sa_charge: activation not running"
 
@@ -379,7 +409,7 @@ let debug_resume t act =
       match (act.act_state, ctx) with
       | A_running cpu_id, Some p ->
           let slot = slot_of_cpu t cpu_id in
-          charge_on_slot slot ~occupant:(act_occupant act "uthread")
+          charge_on_slot slot ~occupant:act.act_occ_uthread
             ~cost:p.Cpu.remaining p.Cpu.resume
       | A_running _, None -> ()
       | (A_blocked | A_stopped | A_free), _ ->

@@ -515,9 +515,12 @@ type serve_summary = {
   v_elapsed_ms : float;
 }
 
-let serve ?(params = Sa_workload.Server.default_mt_params) ?(cpus = 64) () =
+let serve ?(params = Sa_workload.Server.default_mt_params) ?(cpus = 64)
+    ?(tracing = true) () =
   let module Server = Sa_workload.Server in
   let sys = System.create ~cpus () in
+  if not tracing then
+    Sa_engine.Trace.set_recording (Sa_engine.Sim.trace (System.sim sys)) false;
   let tenants =
     List.init params.Server.mt_tenants (fun i ->
         let cls = Server.tenant_class params i in

@@ -140,13 +140,20 @@ type serve_summary = {
 }
 
 val serve :
-  ?params:Sa_workload.Server.mt_params -> ?cpus:int -> unit -> serve_summary
+  ?params:Sa_workload.Server.mt_params ->
+  ?cpus:int ->
+  ?tracing:bool ->
+  unit ->
+  serve_summary
 (** Multi-tenant serving under scheduler activations: every tenant is an
     address space running {!Sa_workload.Server.tenant_program} on the
     FastThreads-on-SA backend, all competing for [cpus] (default 64)
     through the space-sharing allocator.  Reports per-tenant tail latency
     against each class's SLO plus the allocator's per-tenant grant and
-    preemption counts.  Deterministic in [params.mt_seed]. *)
+    preemption counts.  Deterministic in [params.mt_seed].  [tracing]
+    (default [true]) controls the trace ring's recording switch; wall-clock
+    benchmarks pass [false] — the summary itself never depends on the
+    trace, so results are identical either way. *)
 
 val preemption_protocol : unit -> ablation_row list
 (** Section 6 comparison: how long a newly arrived high-priority job waits

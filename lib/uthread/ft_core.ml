@@ -283,6 +283,10 @@ let pop_work s index =
       in
       scan 1
 let nqueues s = Array.length s.queues
+
+(* O(nqueues) field reads; lets idle processors skip a provably fruitless
+   steal sweep (lock probes, victim draws) when every ready list is empty. *)
+let any_ready s = Array.exists (fun q -> not (Deque.is_empty q)) s.queues
 let requeue_front s index tcb = Deque.push_front s.queues.(index) tcb
 
 let run_thread s ~index tcb =

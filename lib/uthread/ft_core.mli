@@ -163,6 +163,9 @@ val steal_from : state -> victim:int -> tcb option
 
 val nqueues : state -> int
 
+val any_ready : state -> bool
+(** Whether any ready list is non-empty (O(queues) field reads, no locking). *)
+
 val requeue_front : state -> int -> tcb -> unit
 (** Undo a [pop_work] (dispatch repair). *)
 

@@ -7,7 +7,7 @@ module Kernel = Sa_kernel.Kernel
 module Upcall = Sa_kernel.Upcall
 module Program = Sa_program.Program
 
-type loaded = L_thread of Ft_core.tcb | L_manager
+type loaded = L_none | L_thread of Ft_core.tcb | L_manager
 
 (* Debug journal: recent driver actions, dumped on internal errors.  Opt-in
    (set [journal_enabled]) because formatting on every dispatch costs real
@@ -21,14 +21,17 @@ let journal_head = ref 0 (* next write slot *)
 let journal_count = ref 0
 
 let jlog fmt =
-  Printf.ksprintf
-    (fun m ->
-      if !journal_enabled then begin
+  if !journal_enabled then
+    Printf.ksprintf
+      (fun m ->
         journal_buf.(!journal_head) <- m;
         journal_head := (!journal_head + 1) mod journal_cap;
-        if !journal_count < journal_cap then incr journal_count
-      end)
-    fmt
+        if !journal_count < journal_cap then incr journal_count)
+      fmt
+  else
+    (* Consume the format arguments without formatting or allocating — the
+       journal is opt-in precisely because formatting costs real time. *)
+    Printf.ikfprintf ignore () fmt
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -49,9 +52,13 @@ type t = {
   mutable space : Kernel.space option;
   mutable core_state : Ft_core.state;
   mutable driver : Ft_core.driver option;
-  loaded : (int, loaded) Hashtbl.t;  (* activation id -> contents *)
-  bound : (int, Kernel.activation) Hashtbl.t;  (* tid -> activation *)
-  act_cpu : (int, int) Hashtbl.t;  (* activation id -> processor *)
+  (* Direct-mapped tables: ids are dense enough that an array lookup beats
+     hashing on the per-dispatch path.  [loaded] and [act_cpu] grow together
+     (both indexed by activation id); absent entries are [L_none] / [-1] /
+     [None]. *)
+  mutable loaded : loaded array;  (* activation id -> contents *)
+  mutable bound : Kernel.activation option array;  (* tid -> activation *)
+  mutable act_cpu : int array;  (* activation id -> processor *)
   max_procs : int;
   mutable pending_recovery :
     (Ft_core.tcb * Time.span * (unit -> unit)) list;
@@ -65,12 +72,31 @@ type t = {
 let core t = t.core_state
 let space t = Option.get t.space
 let completion_time t = t.done_at
-let is_finished t = t.done_at <> None
+let is_finished t = match t.done_at with None -> false | Some _ -> true
 let pending_recoveries t = List.length t.pending_recovery
 let driver t = Option.get t.driver
 
+let grow_by_id a id fill =
+  let n = Array.length a in
+  let n' = max 32 (max (id + 1) (2 * n)) in
+  let a' = Array.make n' fill in
+  Array.blit a 0 a' 0 n;
+  a'
+
+let ensure_aid t aid =
+  if aid >= Array.length t.loaded then begin
+    t.loaded <- grow_by_id t.loaded aid L_none;
+    t.act_cpu <- grow_by_id t.act_cpu aid (-1)
+  end
+
+let ensure_tid t tid =
+  if tid >= Array.length t.bound then t.bound <- grow_by_id t.bound tid None
+
+let loaded_of t aid = if aid < Array.length t.loaded then t.loaded.(aid) else L_none
+
 let act_of t tcb =
-  match Hashtbl.find_opt t.bound (Ft_core.tcb_id tcb) with
+  let tid = Ft_core.tcb_id tcb in
+  match if tid < Array.length t.bound then t.bound.(tid) else None with
   | Some act -> act
   | None -> failwith "Ft_sa: thread not bound to an activation"
 
@@ -96,13 +122,18 @@ let trace_recovery t edge tcb =
 
 let bind t act tcb =
   jlog "bind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
-  Hashtbl.replace t.loaded (Kernel.activation_id act) (L_thread tcb);
-  Hashtbl.replace t.bound (Ft_core.tcb_id tcb) act
+  let aid = Kernel.activation_id act and tid = Ft_core.tcb_id tcb in
+  ensure_aid t aid;
+  ensure_tid t tid;
+  t.loaded.(aid) <- L_thread tcb;
+  t.bound.(tid) <- Some act
 
 let unbind t act tcb =
   jlog "unbind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
-  Hashtbl.replace t.loaded (Kernel.activation_id act) L_manager;
-  Hashtbl.remove t.bound (Ft_core.tcb_id tcb)
+  ensure_aid t (Kernel.activation_id act);
+  t.loaded.(Kernel.activation_id act) <- L_manager;
+  if Ft_core.tcb_id tcb < Array.length t.bound then
+    t.bound.(Ft_core.tcb_id tcb) <- None
 
 (* ------------------------------------------------------------------ *)
 (* The manager: what an activation does when it is not running a thread *)
@@ -115,24 +146,25 @@ let charge_manager t act ?(repair = fun () -> ()) span k =
 
 let release_processor t act =
   let aid = Kernel.activation_id act in
-  Hashtbl.remove t.loaded aid;
-  Hashtbl.remove t.act_cpu aid;
+  ensure_aid t aid;
+  t.loaded.(aid) <- L_none;
+  t.act_cpu.(aid) <- -1;
   Kernel.sa_cpu_idle t.kernel act
 
 let rec manager_continue t act =
   let aid = Kernel.activation_id act in
   let idx =
-    match Hashtbl.find_opt t.act_cpu aid with
-    | Some i -> i
-    | None -> failwith "Ft_sa: activation has no processor record"
+    if aid < Array.length t.act_cpu && t.act_cpu.(aid) >= 0 then
+      t.act_cpu.(aid)
+    else failwith "Ft_sa: activation has no processor record"
   in
   if Kernel.sa_cpu_warned t.kernel act then begin
     (* Warning-protocol kernels (Kconfig.preempt_warning) only hint that
        they want this processor back; a dispatch boundary is a safe point,
        so cooperate.  Any pending recovery is picked up by our remaining
        processors. *)
-    Hashtbl.remove t.loaded aid;
-    Hashtbl.remove t.act_cpu aid;
+    t.loaded.(aid) <- L_none;
+    t.act_cpu.(aid) <- -1;
     Kernel.sa_respond_warning t.kernel act
   end
   else
@@ -146,8 +178,9 @@ let rec manager_continue t act =
       Ft_core.resume_preempted t.core_state (driver t) ~at:idx tcb ~remaining
         ~resume (fun () ->
           trace_recovery t `E tcb;
-          Hashtbl.remove t.bound (Ft_core.tcb_id tcb);
-          Hashtbl.replace t.loaded aid L_manager;
+          if Ft_core.tcb_id tcb < Array.length t.bound then
+            t.bound.(Ft_core.tcb_id tcb) <- None;
+          t.loaded.(aid) <- L_manager;
           manager_continue t act)
   | [] ->
       if Ft_core.finished t.core_state then release_processor t act
@@ -185,6 +218,16 @@ and steal_scan t act idx k =
   let s = t.core_state in
   let nq = Ft_core.nqueues s in
   if k >= nq then idle_hysteresis t act idx
+  else if
+    (* With no chooser installed the sweep over empty lists is pure
+       mechanism — failed lock probes and default victim draws with no
+       observable effect — so an emptiness check may stand in for it.
+       Under a chooser the full sweep must run: each probe is a recorded
+       "steal-victim" choice point. *)
+    (match Sim.chooser (Kernel.sim t.kernel) with
+    | None -> not (Ft_core.any_ready s)
+    | Some _ -> false)
+  then idle_hysteresis t act idx
   else begin
     (* Victim order comes from the policy; the explorer can override it at
        the "steal-victim" choice point (identity default). *)
@@ -247,8 +290,8 @@ let handle_event t idx = function
          in the kernel when it issued the request. *)
       ()
   | Upcall.Activation_unblocked { act = aid; ctx } -> (
-      match Hashtbl.find_opt t.loaded aid with
-      | Some (L_thread tcb) ->
+      match loaded_of t aid with
+      | L_thread tcb ->
           jlog "unblocked act%d <tid%d>" aid (Ft_core.tcb_id tcb);
           (match Ft_core.tcb_state tcb with
           | Ft_core.Blocked_kernel -> ()
@@ -264,24 +307,24 @@ let handle_event t idx = function
                    | Ft_core.Blocked_user -> "ublocked"
                    | Ft_core.Blocked_kernel -> "kblocked"
                    | Ft_core.Done -> "done")));
-          Hashtbl.remove t.loaded aid;
-          Hashtbl.remove t.bound (Ft_core.tcb_id tcb);
-          Hashtbl.remove t.act_cpu aid;
+          t.loaded.(aid) <- L_none;
+          t.bound.(Ft_core.tcb_id tcb) <- None;
+          t.act_cpu.(aid) <- -1;
           Kernel.sa_return_activation t.kernel aid;
           (* The saved context resumes the thread where it left the kernel;
              it runs when some processor dispatches it. *)
           Ft_core.set_resume tcb ctx.Upcall.resume;
           Ft_core.make_ready t.core_state (driver t) ~at:idx tcb
-      | Some L_manager | None ->
+      | L_manager | L_none ->
           failwith "Ft_sa: unblocked activation carried no thread")
   | Upcall.Processor_preempted { act = aid; ctx } -> (
-      match Hashtbl.find_opt t.loaded aid with
-      | Some (L_thread tcb) ->
+      match loaded_of t aid with
+      | L_thread tcb ->
           jlog "preempted act%d <tid%d> in_cs=%b rem=%d" aid
             (Ft_core.tcb_id tcb) (Ft_core.tcb_in_cs tcb) ctx.Upcall.remaining;
-          Hashtbl.remove t.loaded aid;
-          Hashtbl.remove t.bound (Ft_core.tcb_id tcb);
-          Hashtbl.remove t.act_cpu aid;
+          t.loaded.(aid) <- L_none;
+          t.bound.(Ft_core.tcb_id tcb) <- None;
+          t.act_cpu.(aid) <- -1;
           Kernel.sa_return_activation t.kernel aid;
           if Ft_core.tcb_in_cs tcb then begin
             (* Cannot touch the ready list with this thread yet: queue it
@@ -294,8 +337,10 @@ let handle_event t idx = function
           else
             Ft_core.resume_preempted t.core_state (driver t) ~at:idx tcb
               ~remaining:ctx.Upcall.remaining ~resume:ctx.Upcall.resume
-              (fun () -> Hashtbl.remove t.bound (Ft_core.tcb_id tcb))
-      | Some L_manager | None ->
+              (fun () ->
+                if Ft_core.tcb_id tcb < Array.length t.bound then
+                  t.bound.(Ft_core.tcb_id tcb) <- None)
+      | L_manager | L_none ->
           (* Manager contexts are repaired kernel-side; nothing to do. *)
           ())
 
@@ -303,8 +348,9 @@ let on_upcall t delivery =
   let act = delivery.Kernel.uc_activation in
   let aid = Kernel.activation_id act in
   let idx = Cpu.id delivery.Kernel.uc_cpu in
-  Hashtbl.replace t.act_cpu aid idx;
-  Hashtbl.replace t.loaded aid L_manager;
+  ensure_aid t aid;
+  t.act_cpu.(aid) <- idx;
+  t.loaded.(aid) <- L_manager;
   List.iter (handle_event t idx) delivery.Kernel.uc_events;
   manager_continue t act
 
@@ -331,9 +377,9 @@ let create kernel ~name ?(priority = 0) ?policy ?cache ?io_dev
       space = None;
       core_state;
       driver = None;
-      loaded = Hashtbl.create 32;
-      bound = Hashtbl.create 32;
-      act_cpu = Hashtbl.create 32;
+      loaded = Array.make 32 L_none;
+      bound = Array.make 32 None;
+      act_cpu = Array.make 32 (-1);
       max_procs;
       pending_recovery = [];
       done_at = None;
@@ -399,26 +445,27 @@ let create kernel ~name ?(priority = 0) ?policy ?cache ?io_dev
              that processor — we know exactly which thread runs where. *)
           let prio = Ft_core.tcb_priority tcb in
           if prio > 0 then begin
-            let victim =
-              Hashtbl.fold
-                (fun aid l acc ->
-                  match l with
-                  | L_thread vt
-                    when Ft_core.tcb_state vt = Ft_core.Running
-                         && Ft_core.tcb_id vt <> Ft_core.tcb_id tcb -> (
-                      match acc with
-                      | Some (_, best) when Ft_core.tcb_priority best
-                                            <= Ft_core.tcb_priority vt ->
-                          acc
-                      | _ -> Some (aid, vt))
-                  | _ -> acc)
-                t.loaded None
-            in
-            match victim with
-            | Some (aid, vt) when Ft_core.tcb_priority vt < prio -> (
-                match Hashtbl.find_opt t.act_cpu aid with
-                | Some cpu -> Kernel.sa_request_preempt t.kernel sp ~cpu
-                | None -> ())
+            (* Lowest-priority running victim; scan ascending activation id
+               so ties resolve deterministically. *)
+            let victim = ref None in
+            Array.iteri
+              (fun aid l ->
+                match l with
+                | L_thread vt
+                  when Ft_core.tcb_state vt = Ft_core.Running
+                       && Ft_core.tcb_id vt <> Ft_core.tcb_id tcb -> (
+                    match !victim with
+                    | Some (_, best)
+                      when Ft_core.tcb_priority best <= Ft_core.tcb_priority vt
+                      ->
+                        ()
+                    | _ -> victim := Some (aid, vt))
+                | _ -> ())
+              t.loaded;
+            match !victim with
+            | Some (aid, vt) when Ft_core.tcb_priority vt < prio ->
+                let cpu = t.act_cpu.(aid) in
+                if cpu >= 0 then Kernel.sa_request_preempt t.kernel sp ~cpu
             | Some _ | None -> ()
           end);
       all_done =

@@ -44,7 +44,7 @@ type t = {
 
 let space t = t.sp
 let completion_time t = t.done_at
-let is_finished t = t.done_at <> None
+let is_finished t = match t.done_at with None -> false | Some _ -> true
 let live_threads t = t.live
 
 (* Live kernel-thread counter track, plus fork/exit markers: the visible

@@ -2,6 +2,7 @@
 
 module Time = Sa_engine.Time
 module Pqueue = Sa_engine.Pqueue
+module Calq = Sa_engine.Calq
 module Rng = Sa_engine.Rng
 module Stats = Sa_engine.Stats
 module Trace = Sa_engine.Trace
@@ -203,6 +204,226 @@ let pqueue_tests =
     qtest pqueue_cancel_prop;
     qtest pqueue_compact_bound;
     qtest pqueue_pop_pick_reference;
+    Alcotest.test_case "backing array shrinks as the queue drains" `Quick
+      (fun () ->
+        let q = Pqueue.create () in
+        for i = 0 to 1023 do
+          ignore (Pqueue.add q ~key:i ~seq:i i)
+        done;
+        check Alcotest.bool "grown" true (Pqueue.heap_capacity q >= 1024);
+        for _ = 1 to 1015 do
+          ignore (Pqueue.pop q)
+        done;
+        (* 9 live out of a former 1024: each pop halves the array while
+           occupancy sits below a quarter, so it has cascaded down to 32. *)
+        check Alcotest.int "shrunk" 32 (Pqueue.heap_capacity q);
+        while Pqueue.pop q <> None do
+          ()
+        done;
+        check Alcotest.int "empty settles at the floor" 16
+          (Pqueue.heap_capacity q);
+        (* and the queue is still usable afterwards *)
+        ignore (Pqueue.add q ~key:3 ~seq:0 7);
+        check Alcotest.bool "reusable" true (Pqueue.pop q = Some (3, 0, 7)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Calq: differential suite against the Pqueue reference               *)
+(* ------------------------------------------------------------------ *)
+
+(* The calendar queue and the binary heap implement the same contract —
+   strict ascending (key, seq) pop order, lazy O(1) cancellation, the
+   same-instant candidate set exposed to [pop_pick] in ascending seq —
+   and [Sim] treats them as interchangeable.  These properties drive both
+   through identical random op sequences and require identical observable
+   behaviour at every step, including the [pick] arities (candidate-set
+   sizes), so a divergence pinpoints the first differing operation. *)
+
+type diff_op = D_add of int | D_cancel of int | D_pop | D_pick of int
+
+let diff_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun k -> D_add k) (int_range 0 24));
+        (2, map (fun i -> D_cancel i) (int_range 0 1000));
+        (2, return D_pop);
+        (2, map (fun s -> D_pick s) (int_range 0 1000));
+      ])
+
+let pp_diff_op = function
+  | D_add k -> Printf.sprintf "add key:%d" k
+  | D_cancel i -> Printf.sprintf "cancel #%d" i
+  | D_pop -> "pop"
+  | D_pick s -> Printf.sprintf "pop_pick salt:%d" s
+
+let diff_ops_arb =
+  QCheck.make
+    ~print:(QCheck.Print.list pp_diff_op)
+    QCheck.Gen.(list_size (int_range 50 400) diff_op_gen)
+
+let calq_differential =
+  QCheck.Test.make ~name:"calq matches pqueue on random op sequences"
+    ~count:150 diff_ops_arb
+    (fun ops ->
+      let c = Calq.create () and p = Pqueue.create () in
+      let n_ops = List.length ops in
+      (* Parallel handle stores: slot i holds the two names for the i-th
+         inserted entry, so a D_cancel replays on both sides. *)
+      let ch = Array.make (max 1 n_ops) Calq.nil_handle in
+      let pe = Array.make (max 1 n_ops) None in
+      let n_added = ref 0 in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if !ok then begin
+            (match op with
+            | D_add k ->
+                ch.(!n_added) <- Calq.add c ~key:k ~seq:!seq !seq;
+                pe.(!n_added) <- Some (Pqueue.add p ~key:k ~seq:!seq !seq);
+                incr n_added;
+                incr seq
+            | D_cancel i ->
+                if !n_added > 0 then begin
+                  (* May hit an entry already popped or cancelled: both
+                     sides must treat that as a no-op. *)
+                  let i = i mod !n_added in
+                  Calq.cancel c ch.(i);
+                  match pe.(i) with
+                  | Some e -> Pqueue.remove p e
+                  | None -> ()
+                end
+            | D_pop ->
+                if Calq.peek_key c <> Pqueue.peek_key p then ok := false;
+                let expected_next =
+                  match Pqueue.peek_key p with
+                  | None -> max_int
+                  | Some (k, _) -> k
+                in
+                if Calq.next_key c <> expected_next then ok := false;
+                if Calq.pop c <> Pqueue.pop p then ok := false
+            | D_pick salt ->
+                (* Both sides consult [pick] only when >= 2 candidates
+                   share the minimal key, so equal arities mean equal
+                   same-instant candidate sets. *)
+                let arity_c = ref (-1) and arity_p = ref (-1) in
+                let pick a n =
+                  a := n;
+                  salt mod n
+                in
+                let rc = Calq.pop_pick c ~pick:(pick arity_c) in
+                let rp = Pqueue.pop_pick p ~pick:(pick arity_p) in
+                if rc <> rp || !arity_c <> !arity_p then ok := false);
+            if !ok && Calq.length c <> Pqueue.length p then ok := false
+          end)
+        ops;
+      (* Liveness of every handle ever issued must agree too. *)
+      for i = 0 to !n_added - 1 do
+        let pl =
+          match pe.(i) with Some e -> Pqueue.entry_live e | None -> false
+        in
+        if Calq.handle_live c ch.(i) <> pl then ok := false
+      done;
+      !ok
+      && Calq.to_list c = Pqueue.to_list p
+      &&
+      let rec drain () =
+        let rc = Calq.pop c and rp = Pqueue.pop p in
+        rc = rp && (rc = None || drain ())
+      in
+      drain ())
+
+(* The simulator always inserts with globally monotone seqs, but the
+   contract does not require it: a smaller seq for an already-pending key
+   takes the calendar's sorted-insert fallback.  Scrambled unique seqs
+   exercise exactly that path. *)
+let calq_differential_scrambled_seqs =
+  QCheck.Test.make ~name:"calq matches pqueue under non-monotone seqs"
+    ~count:100
+    QCheck.(
+      pair small_nat (list_of_size Gen.(int_range 20 200) (int_range 0 12)))
+    (fun (salt, keys) ->
+      let n = List.length keys in
+      let seqs = Array.init n (fun i -> i) in
+      let st = Random.State.make [| salt; n |] in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = seqs.(i) in
+        seqs.(i) <- seqs.(j);
+        seqs.(j) <- t
+      done;
+      let c = Calq.create () and p = Pqueue.create () in
+      List.iteri
+        (fun i k ->
+          ignore (Calq.add c ~key:k ~seq:seqs.(i) i);
+          ignore (Pqueue.add p ~key:k ~seq:seqs.(i) i))
+        keys;
+      Calq.to_list c = Pqueue.to_list p
+      &&
+      let rec drain () =
+        let rc = Calq.pop c and rp = Pqueue.pop p in
+        rc = rp && (rc = None || drain ())
+      in
+      drain ())
+
+let calq_tests =
+  [
+    Alcotest.test_case "stale handles are inert after slot reuse" `Quick
+      (fun () ->
+        let q = Calq.create () in
+        let h1 = Calq.add q ~key:1 ~seq:0 "a" in
+        check Alcotest.bool "live" true (Calq.handle_live q h1);
+        check Alcotest.bool "pop a" true (Calq.pop q = Some (1, 0, "a"));
+        check Alcotest.bool "dead after pop" false (Calq.handle_live q h1);
+        Calq.cancel q h1;
+        (* The freed slot is recycled for the next insert; the generation
+           tag must shield the new occupant from the stale handle. *)
+        let h2 = Calq.add q ~key:2 ~seq:1 "b" in
+        Calq.cancel q h1;
+        check Alcotest.int "b unaffected" 1 (Calq.length q);
+        check Alcotest.bool "h2 live" true (Calq.handle_live q h2);
+        Calq.cancel q Calq.nil_handle;
+        check Alcotest.bool "nil never live" false
+          (Calq.handle_live q Calq.nil_handle);
+        check Alcotest.int "nil cancel is a no-op" 1 (Calq.length q);
+        check Alcotest.bool "b pops" true (Calq.pop q = Some (2, 1, "b")));
+    Alcotest.test_case "steady churn reuses the slab" `Quick (fun () ->
+        let q = Calq.create () in
+        let window = 32 in
+        for i = 0 to 9_999 do
+          ignore (Calq.add q ~key:(i land 7) ~seq:i i);
+          if Calq.length q > window then ignore (Calq.pop q)
+        done;
+        (* 10k events through a 32-deep window: the slab must have settled
+           at the window's doubling size, not grown with throughput. *)
+        check Alcotest.bool "slab bounded" true (Calq.slab_capacity q <= 64);
+        check Alcotest.bool "buckets bounded" true (Calq.bucket_count q <= 16));
+    Alcotest.test_case "cancel-heavy churn is bounded by the sweep" `Quick
+      (fun () ->
+        let q = Calq.create () in
+        for i = 0 to 4_999 do
+          let h = Calq.add q ~key:(i land 15) ~seq:i i in
+          if i land 7 <> 0 then Calq.cancel q h
+        done;
+        (* 625 survivors (every 8th insert).  Dead entries pile up between
+           sweeps but the sweep fires once they outnumber the live, so
+           occupancy never exceeds ~2x live and the doubling slab stays
+           within 4x live — without the sweep it would hold all 5000. *)
+        check Alcotest.int "live" 625 (Calq.length q);
+        check Alcotest.bool "slab bounded" true
+          (Calq.slab_capacity q <= 2_048);
+        let rec drain last n =
+          match Calq.pop q with
+          | None -> n
+          | Some (k, s, _) ->
+              check Alcotest.bool "ascending" true (last < (k, s));
+              drain (k, s) (n + 1)
+        in
+        check Alcotest.int "survivors pop in order" 625
+          (drain (min_int, min_int) 0));
+    qtest calq_differential;
+    qtest calq_differential_scrambled_seqs;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -813,6 +1034,7 @@ let () =
     [
       ("time", time_tests);
       ("pqueue", pqueue_tests);
+      ("calq", calq_tests);
       ("rng", rng_tests);
       ("stats", stats_tests);
       ("trace", trace_tests);
