@@ -27,7 +27,9 @@
      bench/main.exe serve           24-tenant serving with per-tenant SLOs
      bench/main.exe --json [NAMES]  paper harness (or NAMES) as JSON
      bench/main.exe --json scale    scale stress as JSON (wall time on stderr)
-     bench/main.exe --json serve    serving SLO report as JSON (deterministic) *)
+     bench/main.exe --json serve    serving SLO report as JSON (deterministic)
+     bench/main.exe cluster         3-machine cluster serving run
+     bench/main.exe --json cluster  cluster run as JSON (deterministic) *)
 
 module E = Sa_metrics.Experiments
 module R = Sa_metrics.Report
@@ -447,6 +449,7 @@ let serve_params =
     mt_requests = 200;
     mt_classes = Sa_workload.Server.default_classes;
     mt_seed = 11;
+    mt_cache_blocks = 0;
   }
 
 let serve_cpus = 64
@@ -509,6 +512,128 @@ let print_serve_json (s : E.serve_summary) =
                           ("cpu_seconds", fl r.E.v_cpu_seconds);
                         ])
                     s.E.v_rows );
+            ] );
+    ];
+  Buffer.add_string buf "\n}\n";
+  print_string (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster mode: multi-machine serving over the modeled network        *)
+(* ------------------------------------------------------------------ *)
+
+(* Pinned configuration: 3 machines x 8 CPUs, 12 tenants placed with the
+   deliberate skew Cluster.create applies (machine 2 starts empty), small
+   per-tenant block universes so out-of-slice reads probe peers.  The
+   trajectory must show at least one allocator migration and one remote
+   cache hit — that is what BENCH_cluster.json pins. *)
+
+module Cluster = Sa_cluster.Cluster
+
+let cluster_params =
+  {
+    Cluster.default_params with
+    Cluster.machines = 3;
+    cpus = 8;
+    tenants = 12;
+    requests = 80;
+    seed = 11;
+    cache_blocks = 48;
+  }
+
+let cluster_title =
+  "Cluster: 3 machines x 8 CPUs, 12 tenants x 80 requests, rebalancing \
+   allocator + remote cache fetches"
+
+let run_cluster () =
+  let t0 = Unix.gettimeofday () in
+  let cl = Cluster.create cluster_params in
+  Cluster.run cl;
+  let s = Cluster.summary cl in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Printf.eprintf
+    "cluster: %d machines x %d cpus, %d tenants: %.1f ms simulated, %.0f ms \
+     wall\n\
+     %!"
+    s.Cluster.cl_machines s.Cluster.cl_cpus s.Cluster.cl_tenants
+    s.Cluster.cl_elapsed_ms wall_ms;
+  s
+
+let print_cluster_json (s : Cluster.summary) =
+  let buf = Buffer.create 4096 in
+  let int n buf = Buffer.add_string buf (string_of_int n) in
+  let fl v buf = add_float buf v in
+  let str v buf = add_json_string buf v in
+  let bool v buf = Buffer.add_string buf (if v then "true" else "false") in
+  Buffer.add_string buf "{\n";
+  add_json_string buf "cluster";
+  Buffer.add_char buf ':';
+  add_fields buf
+    [
+      ("kind", fun buf -> add_json_string buf "cluster");
+      ("title", fun buf -> add_json_string buf cluster_title);
+      ( "data",
+        fun buf ->
+          add_fields buf
+            [
+              ("machines", int s.Cluster.cl_machines);
+              ("cpus_per_machine", int s.Cluster.cl_cpus);
+              ("tenants", int s.Cluster.cl_tenants);
+              ("requests_total", int s.Cluster.cl_requests_total);
+              ("migrations", int s.Cluster.cl_migrations);
+              ("evacuations", int s.Cluster.cl_evacuations);
+              ("crashes", int s.Cluster.cl_crashes);
+              ("partitions", int s.Cluster.cl_partitions);
+              ("remote_hits", int s.Cluster.cl_remote_hits);
+              ("remote_fallbacks", int s.Cluster.cl_remote_fallbacks);
+              ("net_messages", int s.Cluster.cl_net.Sa_cluster.Net.messages);
+              ("net_bytes", int s.Cluster.cl_net.Sa_cluster.Net.bytes);
+              ("net_drops", int s.Cluster.cl_net.Sa_cluster.Net.drops);
+              ( "alloc_summaries",
+                int s.Cluster.cl_alloc.Sa_cluster.Cluster_alloc.summaries );
+              ( "alloc_commands",
+                int s.Cluster.cl_alloc.Sa_cluster.Cluster_alloc.commands );
+              ( "alloc_rebalances",
+                int s.Cluster.cl_alloc.Sa_cluster.Cluster_alloc.rebalances );
+              ("elapsed_ms", fl s.Cluster.cl_elapsed_ms);
+              ("completed_all", bool s.Cluster.cl_completed_all);
+              ( "per_machine",
+                fun buf ->
+                  add_list buf
+                    (fun buf (r : Cluster.machine_row) ->
+                      add_fields buf
+                        [
+                          ("machine", int r.Cluster.m_id);
+                          ("alive", bool r.Cluster.m_alive);
+                          ("tenants_final", int r.Cluster.m_tenants_final);
+                          ("upcalls", int r.Cluster.m_upcalls);
+                          ("preemptions", int r.Cluster.m_preemptions);
+                          ("reallocations", int r.Cluster.m_reallocations);
+                          ("migs_in", int r.Cluster.m_migs_in);
+                          ("migs_out", int r.Cluster.m_migs_out);
+                          ("remote_hits", int r.Cluster.m_remote_hits);
+                          ( "remote_fallbacks",
+                            int r.Cluster.m_remote_fallbacks );
+                          ("util", fl r.Cluster.m_util);
+                        ])
+                    s.Cluster.cl_machine_rows );
+              ( "per_tenant",
+                fun buf ->
+                  add_list buf
+                    (fun buf (r : Cluster.tenant_row) ->
+                      add_fields buf
+                        [
+                          ("tenant", int r.Cluster.c_tenant);
+                          ("class", str r.Cluster.c_class);
+                          ("home0", int r.Cluster.c_home0);
+                          ("home", int r.Cluster.c_home);
+                          ("completed", int r.Cluster.c_completed);
+                          ("p50_us", fl r.Cluster.c_p50_us);
+                          ("p99_us", fl r.Cluster.c_p99_us);
+                          ("p999_us", fl r.Cluster.c_p999_us);
+                          ("violations", int r.Cluster.c_violations);
+                          ("slo_ms", fl r.Cluster.c_slo_ms);
+                        ])
+                    s.Cluster.cl_tenant_rows );
             ] );
     ];
   Buffer.add_string buf "\n}\n";
@@ -793,6 +918,7 @@ let () =
     match args with
     | [ "scale" ] -> print_scale_json (run_scale ())
     | [ "serve" ] -> print_serve_json (run_serve ())
+    | [ "cluster" ] -> print_cluster_json (run_cluster ())
     | _ ->
     let selected =
       match args with
@@ -828,6 +954,8 @@ let () =
             | "scale" -> print_scale_text (run_scale ())
             | "serve" ->
                 R.print_serve ~title:serve_title (run_serve ())
+            | "cluster" ->
+                R.print_cluster ~title:cluster_title (run_cluster ())
             | name -> (
                 match find_experiment name with
                 | Some (_, title, run) -> print_result ~title (run ())

@@ -6,6 +6,7 @@
      report   regenerate the paper's tables and figures
      trace    run a small workload with the kernel/upcall trace streamed live
      chaos    run seeded fault-injection campaigns with invariant checking
+     cluster  run the serving workload across a multi-machine cluster
      explore  search the schedule space; record, replay and shrink .sched files *)
 
 module Time = Sa_engine.Time
@@ -365,6 +366,7 @@ let serve_cmd =
         mt_requests = requests;
         mt_classes = Server.default_classes;
         mt_seed = seed;
+        mt_cache_blocks = 0;
       }
     in
     let s = E.serve ~params ~cpus () in
@@ -379,6 +381,171 @@ let serve_cmd =
           handling compete for the machine through the space-sharing \
           allocator; reports per-tenant tail latency against each class's \
           SLO plus allocator grant/preemption counts.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* cluster                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_cmd =
+  let module Cluster = Sa_cluster.Cluster in
+  let module Injector = Sa_fault.Injector in
+  let d = Cluster.default_params in
+  let machines_arg =
+    Arg.(
+      value & opt int d.Cluster.machines
+      & info [ "machines" ] ~docv:"N"
+          ~doc:"Machines in the cluster (each its own kernel).")
+  in
+  let cpus_arg =
+    Arg.(
+      value & opt int d.Cluster.cpus
+      & info [ "cpus" ] ~docv:"N" ~doc:"Processors per machine.")
+  in
+  let tenants_arg =
+    Arg.(
+      value & opt int d.Cluster.tenants
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:
+            "Tenant address spaces, spread over the first N-1 machines so \
+             the cluster allocator has an imbalance to fix.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int d.Cluster.requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per tenant.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int d.Cluster.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Workload seed; the whole run is a pure function of it.")
+  in
+  let cache_blocks_arg =
+    Arg.(
+      value & opt int d.Cluster.cache_blocks
+      & info [ "cache-blocks" ] ~docv:"N"
+          ~doc:
+            "Per-tenant block universe; each tenant prewarms only its home \
+             machine's slice, so out-of-slice reads probe peers over the \
+             net.  0 disables cache reads entirely.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt int d.Cluster.net_jitter_us
+      & info [ "jitter-us" ] ~docv:"US"
+          ~doc:"Uniform extra network delay in [0, US] per message.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "inject" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated injector kinds (as for $(b,sa_sim chaos)); \
+             $(b,machine-crash) and $(b,net-partition) act on the cluster, \
+             the single-machine kinds act on machine 0.  Default: none.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Fault-injector seed.")
+  in
+  let timeline_arg =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:
+            "Render a per-machine processor-occupancy chart (rows prefixed \
+             $(b,m0:), $(b,m1:), ...).")
+  in
+  let action machines cpus tenants requests seed cache_blocks jitter kinds
+      chaos_seed timeline =
+    let params =
+      {
+        Cluster.default_params with
+        Cluster.machines;
+        cpus;
+        tenants;
+        requests;
+        seed;
+        cache_blocks;
+        net_jitter_us = jitter;
+      }
+    in
+    let cl = Cluster.create params in
+    let timelines =
+      if timeline then
+        Array.map
+          (fun sys -> Sa_metrics.Timeline.attach sys ~resolution:(Time.ms 2))
+          (Cluster.systems cl)
+      else [||]
+    in
+    let injector =
+      match kinds with
+      | None | Some [] -> None
+      | Some names ->
+          let kinds =
+            List.map
+              (fun n ->
+                match Injector.kind_of_name n with
+                | Some k -> k
+                | None ->
+                    Printf.eprintf "unknown injector kind %S\n" n;
+                    exit 2)
+              names
+          in
+          let hooks =
+            {
+              Injector.ch_machines = machines;
+              ch_crash = (fun m -> Cluster.crash_machine cl m);
+              ch_partition = (fun a b ~hold -> Cluster.partition cl a b ~hold);
+              ch_active = (fun () -> Cluster.active cl);
+            }
+          in
+          Some
+            (Injector.attach
+               ~config:{ Injector.default with Injector.kinds }
+               ~cluster:hooks ~seed:chaos_seed
+               (Cluster.systems cl).(0))
+    in
+    Cluster.run cl;
+    R.print_cluster ~title:"Cluster serving: multi-machine report"
+      (Cluster.summary cl);
+    (match injector with
+    | None -> ()
+    | Some inj ->
+        let counts =
+          List.filter (fun (_, n) -> n > 0) (Injector.injected inj)
+        in
+        Printf.printf "injected:%s\n"
+          (if counts = [] then " nothing"
+           else
+             String.concat ""
+               (List.map (fun (k, n) -> Printf.sprintf " %s=%d" k n) counts)));
+    if timeline then
+      Array.iteri
+        (fun i tl ->
+          Sa_metrics.Timeline.render
+            ~label:(if machines > 1 then Printf.sprintf "m%d:" i else "")
+            tl Format.std_formatter)
+        timelines
+  in
+  let term =
+    Term.(
+      const action $ machines_arg $ cpus_arg $ tenants_arg $ requests_arg
+      $ seed_arg $ cache_blocks_arg $ jitter_arg $ inject_arg
+      $ chaos_seed_arg $ timeline_arg)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the multi-tenant serving workload across a simulated cluster: \
+          one kernel per machine over a modeled network, with a \
+          cluster-level allocator migrating address spaces toward idle \
+          machines and buffer-cache misses resolving from peers' caches.  \
+          Optional chaos ($(b,machine-crash), $(b,net-partition)) exercises \
+          evacuation and disk fallback.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -559,9 +726,10 @@ let chaos_cmd =
           ~doc:
             "Comma-separated injector kinds: $(b,preempt), $(b,io-faults), \
              $(b,daemon-storm), $(b,priority-flap), $(b,space-churn), \
-             $(b,demand-drop).  Default: every survivable kind \
-             ($(b,demand-drop) is a deliberate bug seed and must be named \
-             explicitly).")
+             $(b,demand-drop), $(b,machine-crash), $(b,net-partition).  \
+             Default: every survivable kind ($(b,demand-drop) is a \
+             deliberate bug seed and must be named explicitly; the two \
+             cluster kinds only act under $(b,sa_sim cluster)).")
   in
   (* One flag per injector-config field, defaulting to Injector.default, so
      a failing run's replay line can name every non-default knob. *)
@@ -623,9 +791,23 @@ let chaos_cmd =
     fopt [ "drop-gap-us" ] d.Injector.drop_gap_us
       "Mean gap between armed reallocation drops (demand-drop kind, us)."
   in
+  let crash_gap_arg =
+    fopt [ "crash-gap-us" ] d.Injector.crash_gap_us
+      "Mean gap between machine-crash attempts (cluster runs, us)."
+  in
+  let partition_gap_arg =
+    fopt [ "partition-gap-us" ] d.Injector.partition_gap_us
+      "Mean gap between link-cut attempts (cluster runs, us)."
+  in
+  let partition_hold_arg =
+    fopt [ "partition-hold-us" ]
+      (Time.span_to_us d.Injector.partition_hold)
+      "How long a cut link stays down (us)."
+  in
   let action cpus seeds base_seed mode kinds preempt_gap spurious_prob
       io_fault_prob io_delay cache_fault_prob storm_gap storm_size
-      storm_burst flap_gap flap_hold churn_gap drop_gap =
+      storm_burst flap_gap flap_hold churn_gap drop_gap crash_gap
+      partition_gap partition_hold =
     let kinds =
       match kinds with
       | None -> d.Injector.kinds
@@ -654,6 +836,9 @@ let chaos_cmd =
         flap_hold = Time.us_f flap_hold;
         churn_gap_us = churn_gap;
         drop_gap_us = drop_gap;
+        crash_gap_us = crash_gap;
+        partition_gap_us = partition_gap;
+        partition_hold = Time.us_f partition_hold;
       }
     in
     (* Every injector knob that differs from the default, as flags — so the
@@ -690,6 +875,13 @@ let chaos_cmd =
         add " --churn-gap-us %g" injector.Injector.churn_gap_us;
       if injector.Injector.drop_gap_us <> d.Injector.drop_gap_us then
         add " --drop-gap-us %g" injector.Injector.drop_gap_us;
+      if injector.Injector.crash_gap_us <> d.Injector.crash_gap_us then
+        add " --crash-gap-us %g" injector.Injector.crash_gap_us;
+      if injector.Injector.partition_gap_us <> d.Injector.partition_gap_us
+      then add " --partition-gap-us %g" injector.Injector.partition_gap_us;
+      if injector.Injector.partition_hold <> d.Injector.partition_hold then
+        add " --partition-hold-us %g"
+          (Time.span_to_us injector.Injector.partition_hold);
       Buffer.contents b
     in
     let config = { Campaign.default with Campaign.cpus; injector } in
@@ -735,7 +927,8 @@ let chaos_cmd =
       $ kinds_arg $ preempt_gap_arg $ spurious_prob_arg $ io_fault_prob_arg
       $ io_delay_arg $ cache_fault_prob_arg $ storm_gap_arg $ storm_size_arg
       $ storm_burst_arg $ flap_gap_arg $ flap_hold_arg $ churn_gap_arg
-      $ drop_gap_arg)
+      $ drop_gap_arg $ crash_gap_arg $ partition_gap_arg
+      $ partition_hold_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1110,6 +1303,7 @@ let () =
             sor_cmd;
             server_cmd;
             serve_cmd;
+            cluster_cmd;
             report_cmd;
             trace_cmd;
             chaos_cmd;

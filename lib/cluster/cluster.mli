@@ -1,0 +1,148 @@
+(** Multi-machine simulation: N independent machine+kernel stacks sharing
+    one deterministic simulation clock, connected by a modeled {!Net}, with
+    a {!Cluster_alloc} rebalancer migrating address spaces between them.
+
+    The workload is the PR-5 multi-tenant serving scenario spread across
+    the cluster.  Tenants are placed with deliberate skew — tenant [i]
+    starts on machine [i mod (machines - 1)], leaving the last machine
+    empty — so the cluster allocator always has something to fix.
+
+    {2 Migration}
+
+    A space migrates by the Table-2 machinery it already has: every
+    processor the source kernel granted it is reclaimed through the
+    standard preemption upcall path ({!Sa_kernel.Kernel.detach_space}), the
+    space plus its activation records travel over the net as a modeled
+    state transfer ([mig_base_bytes + mig_bytes_per_act] per resident
+    activation), and on arrival the package is re-registered on the target
+    kernel ({!Sa_kernel.Kernel.attach_space}) and the user-level scheduler
+    re-pointed at it ({!Sa_uthread.Ft_sa.rehome}).  Threads blocked in the
+    source kernel at detach time complete there; their wakeups chase the
+    space to its new home.
+
+    {2 Remote buffer-cache fetches}
+
+    Each tenant's buffer cache is pre-filled with its home machine's slice
+    of the block universe.  A miss first probes the other machines (in
+    deterministic rotation order from the current home): if a reachable
+    peer holds the block, the fill is a request/response round trip over
+    the net — microseconds instead of the 50 ms disk. If the peer dies or
+    the link partitions mid-flight, the fetch falls back to the disk
+    path. *)
+
+module Time = Sa_engine.Time
+module Net = Net
+module Cluster_alloc = Cluster_alloc
+
+type params = {
+  machines : int;
+  cpus : int;  (** per machine *)
+  tenants : int;
+  requests : int;  (** per tenant *)
+  seed : int;
+  cache_blocks : int;
+      (** per-tenant block universe; each tenant prewarms only its home
+          machine's slice, so out-of-slice reads miss and probe peers *)
+  classes : Sa_workload.Server.tenant_class list;
+  net_latency : Time.span;
+  net_ns_per_byte : int;
+  net_jitter_us : int;
+  alloc : Cluster_alloc.config;
+  req_bytes : int;  (** remote-fetch request wire size *)
+  block_bytes : int;  (** remote-fetch response (one block) wire size *)
+  mig_base_bytes : int;  (** fixed part of a migration state transfer *)
+  mig_bytes_per_act : int;  (** per resident activation record *)
+  crash_recovery : Time.span;
+      (** fail-stop re-homing latency before the state restore begins *)
+  tracing : bool;  (** keep the trace ring recording (off for benches) *)
+}
+
+val default_params : params
+(** 4 machines x 16 CPUs, 12 tenants x 100 requests, seed 42, 64-block
+    universes, 50 us / 1 ns-per-byte / no-jitter net, default allocator
+    config, 8 KiB blocks, 5 ms crash recovery, tracing off. *)
+
+type t
+
+val create : params -> t
+(** Build the whole cluster: shared clock, one {!Sa.System} per machine
+    (one shared id counter so space/activation ids stay globally unique),
+    the net, the tenants (submitted in index order), the per-tenant
+    remote-fetch resolvers, and the cluster allocator ticks.  Raises
+    [Invalid_argument] on nonpositive machine/cpu/tenant counts. *)
+
+val run : ?horizon:Time.span -> t -> unit
+(** Drive the clock until every tenant finishes or the horizon (default 30
+    simulated minutes) passes — unlike {!Sa.System.run} an expired horizon
+    is not an error here, since chaos (crashes, partitions) can legally
+    strand work; {!summary} reports partial results. *)
+
+val active : t -> bool
+(** Is any tenant still unfinished? *)
+
+val sim : t -> Sa_engine.Sim.t
+val net : t -> Net.t
+val machines : t -> int
+val systems : t -> Sa.System.t array
+val alive : t -> int -> bool
+
+val crash_machine : t -> int -> bool
+(** Fail-stop the machine: mark it dead and offline, then re-home every
+    resident unfinished space to the surviving machines (deterministic
+    rotation) after [crash_recovery] plus the modeled state-restore time.
+    Returns [false] — and does nothing — if the machine is already dead or
+    is the last one standing. *)
+
+val partition : t -> int -> int -> hold:Time.span -> bool
+(** Cut the link between two machines for [hold].  [false] on a bad or
+    degenerate pair. *)
+
+(** {1 Results} *)
+
+type machine_row = {
+  m_id : int;
+  m_alive : bool;
+  m_tenants_final : int;  (** tenants homed here at the end *)
+  m_upcalls : int;
+  m_preemptions : int;
+  m_reallocations : int;
+  m_migs_in : int;
+  m_migs_out : int;
+  m_remote_hits : int;  (** remote fetches resolved by a peer's cache *)
+  m_remote_fallbacks : int;  (** remote fetches that fell back to disk *)
+  m_util : float;
+}
+
+type tenant_row = {
+  c_tenant : int;
+  c_class : string;
+  c_home0 : int;  (** initial placement *)
+  c_home : int;  (** final home *)
+  c_completed : int;
+  c_p50_us : float;
+  c_p99_us : float;
+  c_p999_us : float;
+  c_violations : int;
+  c_slo_ms : float;
+}
+
+type summary = {
+  cl_machines : int;
+  cl_cpus : int;
+  cl_tenants : int;
+  cl_requests_total : int;  (** completed requests across all tenants *)
+  cl_migrations : int;  (** allocator-driven space migrations *)
+  cl_evacuations : int;  (** crash-driven re-homings *)
+  cl_crashes : int;
+  cl_partitions : int;
+  cl_remote_hits : int;
+  cl_remote_fallbacks : int;
+  cl_net : Net.stats;
+  cl_alloc : Cluster_alloc.stats;
+  cl_machine_rows : machine_row list;
+  cl_tenant_rows : tenant_row list;
+  cl_elapsed_ms : float;
+  cl_completed_all : bool;
+}
+
+val summary : t -> summary

@@ -51,6 +51,14 @@ let create ?(cpus = 6) ?(costs = Cost_model.firefly_cvax)
   let kernel = Kernel.create sim machine costs kconfig in
   { sim; machine; kernel; costs; jobs = [] }
 
+(* Cluster construction: one stack among several sharing a single clock
+   (and one id counter, so spaces stay globally unique under migration). *)
+let create_on ?(machine_id = 0) ?ids ?(cpus = 6)
+    ?(costs = Cost_model.firefly_cvax) ?(kconfig = Kconfig.default) sim =
+  let machine = Machine.create ~id:machine_id sim ~cpus in
+  let kernel = Kernel.create ?ids sim machine costs kconfig in
+  { sim; machine; kernel; costs; jobs = [] }
+
 let sim t = t.sim
 let kernel t = t.kernel
 let machine t = t.machine
@@ -115,6 +123,12 @@ let submit t ~backend ~name ?cache_capacity ?(prewarm_cache = true) ?disk
 let job_name j = j.j_name
 let jobs t = List.rev t.jobs
 
+(* Cluster migration bookkeeping: move a job record between systems so
+   per-system listings (and the invariant auditors walking them) track
+   placement.  While in transit the job is on neither list. *)
+let disown t job = t.jobs <- List.filter (fun j -> j != job) t.jobs
+let adopt t job = t.jobs <- job :: t.jobs
+
 let completion_time j =
   match j.j_impl with
   | J_ft_kt ft -> Ft_kt.completion_time ft
@@ -144,6 +158,8 @@ let ft_core_state j =
   | J_ft_kt ft -> Some (Ft_kt.core ft)
   | J_ft_sa ft -> Some (Ft_sa.core ft)
   | J_direct _ -> None
+
+let ft_sa j = match j.j_impl with J_ft_sa ft -> Some ft | _ -> None
 
 let space j =
   match j.j_impl with

@@ -50,6 +50,20 @@ val create :
     configuration (default {!Sa_kernel.Kconfig.default}: explicit
     allocation, untuned upcalls, daemons on). *)
 
+val create_on :
+  ?machine_id:int ->
+  ?ids:int ref ->
+  ?cpus:int ->
+  ?costs:Sa_hw.Cost_model.t ->
+  ?kconfig:Sa_kernel.Kconfig.t ->
+  Sim.t ->
+  t
+(** Like {!create}, but as one machine of a cluster: the caller supplies
+    the shared simulation clock, a machine id, and (usually) one id [ref]
+    shared by every kernel so space/activation ids stay globally unique
+    under migration.  The caller drives the clock itself ({!Sim.run_while}
+    or {!run} on any member). *)
+
 val sim : t -> Sim.t
 val kernel : t -> Kernel.t
 val machine : t -> Sa_hw.Machine.t
@@ -98,6 +112,14 @@ val elapsed : job -> Time.span option
 val jobs : t -> job list
 (** All submitted jobs, in submission order. *)
 
+val disown : t -> job -> unit
+(** Cluster migration: remove the job from this system's listing (it is in
+    transit to another machine).  Invariant auditors walking {!jobs} skip
+    it until {!adopt} lands it. *)
+
+val adopt : t -> job -> unit
+(** Cluster migration: record the job as resident on this system. *)
+
 val ft_core_state : job -> Sa_uthread.Ft_core.state option
 (** The FastThreads core of a [`Fastthreads_*] job ([None] for jobs run
     directly on kernel threads).  Gives auditors access to ground-truth
@@ -105,6 +127,10 @@ val ft_core_state : job -> Sa_uthread.Ft_core.state option
 
 val uthread_stats : job -> Sa_uthread.Ft_core.stats option
 (** Thread-package statistics, for the two FastThreads backends. *)
+
+val ft_sa : job -> Sa_uthread.Ft_sa.t option
+(** The scheduler-activation package behind a [`Fastthreads_on_sa] job
+    (cluster migration needs the handle to re-point its kernel). *)
 
 val cache : job -> Sa_hw.Buffer_cache.t option
 

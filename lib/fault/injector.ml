@@ -13,14 +13,19 @@ type kind =
   | Priority_flap
   | Space_churn
   | Demand_drop
+  | Machine_crash
+  | Net_partition
 
 (* The five survivable kinds the system is expected to absorb; Demand_drop
    is a genuine bug seed (a lost reallocation request) and is therefore
-   opt-in, never part of the default mix. *)
+   opt-in, never part of the default mix.  The two cluster kinds need a
+   cluster to act on (see [attach ?cluster]) and are likewise opt-in. *)
 let survivable_kinds =
   [ Preempt; Io_faults; Daemon_storm; Priority_flap; Space_churn ]
 
-let all_kinds = survivable_kinds @ [ Demand_drop ]
+(* New kinds append at the end: the per-kind stream split below follows
+   this order, so appending keeps every existing kind's draws identical. *)
+let all_kinds = survivable_kinds @ [ Demand_drop; Machine_crash; Net_partition ]
 
 let kind_name = function
   | Preempt -> "preempt"
@@ -29,6 +34,8 @@ let kind_name = function
   | Priority_flap -> "priority-flap"
   | Space_churn -> "space-churn"
   | Demand_drop -> "demand-drop"
+  | Machine_crash -> "machine-crash"
+  | Net_partition -> "net-partition"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -46,6 +53,9 @@ type config = {
   flap_hold : Time.span;
   churn_gap_us : float;
   drop_gap_us : float;
+  crash_gap_us : float;
+  partition_gap_us : float;
+  partition_hold : Time.span;
 }
 
 let default =
@@ -63,11 +73,22 @@ let default =
     flap_hold = Time.ms 1;
     churn_gap_us = 4_000.0;
     drop_gap_us = 2_000.0;
+    crash_gap_us = 20_000.0;
+    partition_gap_us = 8_000.0;
+    partition_hold = Time.ms 2;
   }
+
+type cluster_hooks = {
+  ch_machines : int;
+  ch_crash : int -> bool;
+  ch_partition : int -> int -> hold:Time.span -> bool;
+  ch_active : unit -> bool;
+}
 
 type t = {
   sys : System.t;
   cfg : config;
+  cluster : cluster_hooks option;
   mutable n_preempts : int;
   mutable n_spurious : int;
   mutable n_io_faults : int;
@@ -76,6 +97,8 @@ type t = {
   mutable n_flaps : int;
   mutable n_churns : int;
   mutable n_drops : int;
+  mutable n_crashes : int;
+  mutable n_partitions : int;
   mutable detached : bool;
   mutable cleanups : (unit -> unit) list;
       (* uninstallers for the kernel/cache/device hooks this injector set *)
@@ -91,11 +114,17 @@ let injected t =
     ("priority-flap", t.n_flaps);
     ("space-churn", t.n_churns);
     ("demand-drop", t.n_drops);
+    ("machine-crash", t.n_crashes);
+    ("net-partition", t.n_partitions);
   ]
 
 let active t =
   (not t.detached)
-  && List.exists (fun j -> not (System.finished j)) (System.jobs t.sys)
+  &&
+  match t.cluster with
+  | Some h -> h.ch_active ()
+  | None ->
+      List.exists (fun j -> not (System.finished j)) (System.jobs t.sys)
 
 (* A recurring injector: exponentially-distributed gaps from a private
    stream, stopping by itself once every job has finished (so the
@@ -229,6 +258,33 @@ let install_demand_drop t rng =
       t.n_drops <- t.n_drops + 1;
       Kernel.set_chaos_realloc_drop kern true)
 
+(* --- Machine_crash / Net_partition: cluster-level faults -------------- *)
+
+(* Both act through the [cluster_hooks] the caller supplied: without a
+   cluster they install nothing, so a single-machine chaos run accepts the
+   kind names harmlessly.  The hook decides legality (e.g. never killing
+   the last machine); refused events are not counted. *)
+
+let install_machine_crash t rng =
+  match t.cluster with
+  | None -> ()
+  | Some h ->
+      recurring t rng ~mean_us:t.cfg.crash_gap_us (fun () ->
+          if h.ch_crash (Rng.int rng h.ch_machines) then
+            t.n_crashes <- t.n_crashes + 1)
+
+let install_net_partition t rng =
+  match t.cluster with
+  | None -> ()
+  | Some h ->
+      recurring t rng ~mean_us:t.cfg.partition_gap_us (fun () ->
+          (* always burn both draws so refused pairs don't shift the
+             stream *)
+          let a = Rng.int rng h.ch_machines in
+          let b = Rng.int rng h.ch_machines in
+          if a <> b && h.ch_partition a b ~hold:t.cfg.partition_hold then
+            t.n_partitions <- t.n_partitions + 1)
+
 (* --- Space_churn: transient address spaces -------------------------- *)
 
 let install_space_churn t rng =
@@ -251,11 +307,12 @@ let install_space_churn t rng =
              ())
       done)
 
-let attach ?(config = default) ~seed sys =
+let attach ?(config = default) ?cluster ~seed sys =
   let t =
     {
       sys;
       cfg = config;
+      cluster;
       n_preempts = 0;
       n_spurious = 0;
       n_io_faults = 0;
@@ -264,6 +321,8 @@ let attach ?(config = default) ~seed sys =
       n_flaps = 0;
       n_churns = 0;
       n_drops = 0;
+      n_crashes = 0;
+      n_partitions = 0;
       detached = false;
       cleanups = [];
     }
@@ -289,6 +348,8 @@ let attach ?(config = default) ~seed sys =
         | Priority_flap -> install_priority_flap t rng
         | Space_churn -> install_space_churn t rng
         | Demand_drop -> install_demand_drop t rng
+        | Machine_crash -> install_machine_crash t rng
+        | Net_partition -> install_net_partition t rng
       end)
     streams;
   t

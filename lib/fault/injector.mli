@@ -30,12 +30,19 @@ type kind =
           re-triggers the allocator.  Off by default; enable it to give
           schedule exploration a real, interleaving-sensitive violation to
           find (the work-conservation invariant catches the starvation). *)
+  | Machine_crash
+      (** fail-stop whole-machine crashes — only acts when [attach] was
+          given {!cluster_hooks}; a no-op (never counted) otherwise *)
+  | Net_partition
+      (** transient cuts of a random inter-machine link — cluster runs
+          only, like {!Machine_crash} *)
 
 val survivable_kinds : kind list
 (** The five fault kinds the system is expected to absorb — the default
     mix. *)
 
-(** {!survivable_kinds} plus {!Demand_drop}. *)
+(** {!survivable_kinds} plus {!Demand_drop}, {!Machine_crash} and
+    {!Net_partition}. *)
 val all_kinds : kind list
 val kind_name : kind -> string
 val kind_of_name : string -> kind option
@@ -56,6 +63,9 @@ type config = {
   churn_gap_us : float;  (** mean gap between space arrivals *)
   drop_gap_us : float;
       (** mean gap between armed reallocation drops ({!Demand_drop}) *)
+  crash_gap_us : float;  (** mean gap between machine-crash attempts *)
+  partition_gap_us : float;  (** mean gap between link-cut attempts *)
+  partition_hold : Time.span;  (** how long a cut link stays down *)
 }
 
 val default : config
@@ -63,13 +73,30 @@ val default : config
     time and fault a noticeable fraction of I/O completions.  [kinds] is
     {!survivable_kinds}: the {!Demand_drop} bug seed must be opted into. *)
 
+type cluster_hooks = {
+  ch_machines : int;  (** machines the crash/partition draws range over *)
+  ch_crash : int -> bool;
+      (** fail-stop machine [m]; [false] if refused (already dead, last
+          one standing) — refused events are not counted *)
+  ch_partition : int -> int -> hold:Time.span -> bool;
+      (** cut the link between two machines for [hold] *)
+  ch_active : unit -> bool;
+      (** overrides the single-system job-completion check: cluster jobs
+          migrate between systems, so only the cluster knows when the
+          whole workload is done *)
+}
+(** How the cluster-level kinds reach a {!Sa_cluster.Cluster.t} without
+    this library depending on it: the caller wraps [crash_machine] and
+    [partition] in plain closures. *)
+
 type t
 
-val attach : ?config:config -> seed:int -> Sa.System.t -> t
+val attach : ?config:config -> ?cluster:cluster_hooks -> seed:int -> Sa.System.t -> t
 (** Install the configured injectors.  Call {b after} submitting every job:
     the injector snapshots the job list to find target spaces and caches.
     Hooks installed on the kernel and on each job's cache/device stay in
-    place until {!detach}. *)
+    place until {!detach}.  [cluster] arms {!Machine_crash} and
+    {!Net_partition}; without it those kinds install nothing. *)
 
 val detach : t -> unit
 (** Stop injecting: recurring injector ticks become no-ops, and the

@@ -1,12 +1,22 @@
 module Time = Sa_engine.Time
 module Sim = Sa_engine.Sim
 
-type t = { sim : Sim.t; cpus : Cpu.t array; mutable idle_count : int }
+type t = {
+  sim : Sim.t;
+  id : int;  (** machine identity within a cluster; 0 when standalone *)
+  cpus : Cpu.t array;
+  mutable idle_count : int;
+}
 
-let create sim ~cpus =
+let create ?(id = 0) sim ~cpus =
   if cpus <= 0 then invalid_arg "Machine.create: cpus";
   let t =
-    { sim; cpus = Array.init cpus (fun i -> Cpu.create sim i); idle_count = cpus }
+    {
+      sim;
+      id;
+      cpus = Array.init cpus (fun i -> Cpu.create sim i);
+      idle_count = cpus;
+    }
   in
   (* Maintain the idle census at the transition sites instead of scanning
      the CPU array per query: each CPU reports its idle<->busy edges. *)
@@ -18,6 +28,7 @@ let create sim ~cpus =
   t
 
 let sim t = t.sim
+let id t = t.id
 let cpu_count t = Array.length t.cpus
 
 let cpu t i =

@@ -3,10 +3,15 @@
 
 type t
 
-val create : Sa_engine.Sim.t -> cpus:int -> t
-(** Raises [Invalid_argument] if [cpus <= 0]. *)
+val create : ?id:int -> Sa_engine.Sim.t -> cpus:int -> t
+(** Raises [Invalid_argument] if [cpus <= 0].  [id] names the machine
+    within a cluster (default 0 for standalone runs). *)
 
 val sim : t -> Sa_engine.Sim.t
+
+val id : t -> int
+(** Machine identity within a cluster ([0] when standalone). *)
+
 val cpu_count : t -> int
 val cpu : t -> Cpu.id -> Cpu.t
 val cpus : t -> Cpu.t array

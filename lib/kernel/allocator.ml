@@ -57,8 +57,10 @@ let preempt_slot_now t sp slot =
       slot.slot_owner <- None;
       set_assigned t sp (sp.sp_assigned - 1);
       (* Tell the old space, on another of its processors — or with its
-         next grant if it has none left (the paper delays it too). *)
-      defer t (fun () -> Sa_upcall.notify_sa t sp)
+         next grant if it has none left (the paper delays it too).  The
+         notification resolves [sp_home] at fire time: a migrating space's
+         preemption events must chase it to its new kernel. *)
+      defer t (fun () -> Sa_upcall.notify_sa sp.sp_home sp)
   | Kthreads k ->
       (match Cpu.preempt slot.slot_cpu with
       | Some p -> (

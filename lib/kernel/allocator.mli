@@ -21,4 +21,10 @@ val set_space_priority : t -> space -> int -> unit
 val chaos_preempt : t -> cpu:int -> bool
 val grant_cpu_to : t -> slot -> space -> unit
 val preempt_cpu_from : t -> space -> unit
+
+val preempt_slot_now : t -> space -> slot -> unit
+(** Immediately reclaim [slot] from [sp]: the interrupted context becomes a
+    [Processor_preempted] event in the space's pending queue.  Used by the
+    reallocation pass and by cluster migration ([Kernel.detach_space]). *)
+
 val do_reallocate : t -> unit

@@ -93,6 +93,7 @@ let new_kthread_space t ~name ?(priority = 0) () =
     {
       sp_id = fresh_id t;
       sp_name = name;
+      sp_home = t;
       sp_prio = priority;
       sp_kind = Kthreads { local_runq = Queue.create (); kt_runnable = 0 };
       sp_desired = 0;
@@ -115,6 +116,7 @@ let new_sa_space t ~name ?(priority = 0) ~client () =
     {
       sp_id = fresh_id t;
       sp_name = name;
+      sp_home = t;
       sp_prio = priority;
       sp_kind =
         Sa
@@ -157,7 +159,7 @@ let start_daemons t =
     (Kt_sched.spawn_kthread_gen t sp ~name:"daemon" ~prio:10 ~random_wake:true
        ~body ())
 
-let create sim machine costs cfg =
+let create ?ids sim machine costs cfg =
   Allocator.install ();
   let slots =
     Array.map
@@ -194,7 +196,7 @@ let create sim machine costs cfg =
       spaces = [];
       spaces_by_id = Hashtbl.create 16;
       runqs = [];
-      next_id = 0;
+      ids = (match ids with Some r -> r | None -> ref 0);
       realloc_pending = false;
       sched_pass_pending = false;
       rotation = 0;
@@ -441,3 +443,63 @@ let check_invariants t =
                    act.act_id cpu_id))
       | A_blocked | A_stopped | A_free -> ())
     t.acts
+
+(* ------------------------------------------------------------------ *)
+(* Cluster migration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A space in transit between kernels: the space record itself plus every
+   activation record that belongs to it (blocked ones carry saved thread
+   contexts; stopped/free ones are the recycle pool's backing store).
+   Shared ids ([create ?ids]) keep the records globally unique, so the
+   target kernel can index them without translation. *)
+type migration = { mig_space : space; mig_acts : activation list }
+
+let migration_space m = m.mig_space
+let migration_act_count m = List.length m.mig_acts
+
+let detach_space t sp =
+  (match sp.sp_kind with
+  | Sa _ -> ()
+  | Kthreads _ -> invalid_arg "detach_space: only SA spaces migrate");
+  if not (Hashtbl.mem t.spaces_by_id sp.sp_id) then
+    invalid_arg "detach_space: space not registered here";
+  (* Reclaim every processor the space holds.  Each interrupted context
+     becomes a Processor_preempted event in the space's pending queue (the
+     Table-2 drain) and travels with the migration; the deferred
+     notifications chase [sp_home] and so deliver on the target. *)
+  Array.iter
+    (fun slot ->
+      if slot_owned_by slot sp then Allocator.preempt_slot_now t sp slot)
+    t.slots;
+  unregister_space t sp;
+  sp.sp_desired <- 0;
+  let acts =
+    Hashtbl.fold
+      (fun _ act acc -> if same_space act.act_sp sp then act :: acc else acc)
+      t.acts []
+    |> List.sort (fun a b -> compare a.act_id b.act_id)
+  in
+  List.iter (fun act -> Hashtbl.remove t.acts act.act_id) acts;
+  tracef t "cluster: detach %s (%d activation records)" sp.sp_name
+    (List.length acts);
+  reevaluate t;
+  { mig_space = sp; mig_acts = acts }
+
+let attach_space t m =
+  let sp = m.mig_space in
+  if Hashtbl.mem t.spaces_by_id sp.sp_id then
+    invalid_arg "attach_space: space id already registered here";
+  register_space t sp;
+  sp.sp_home <- t;
+  List.iter (fun act -> Hashtbl.replace t.acts act.act_id act) m.mig_acts;
+  tracef t "cluster: attach %s (%d activation records)" sp.sp_name
+    (List.length m.mig_acts);
+  (* The drained contexts (and any wakeups that landed mid-flight) are
+     sitting in the pending queue; make sure the space gets a processor to
+     receive them — the first grant delivers Add_processor plus the whole
+     backlog through the normal path. *)
+  (match sp.sp_kind with
+  | Sa s -> if s.pending <> [] && sp.sp_desired < 1 then sp.sp_desired <- 1
+  | Kthreads _ -> ());
+  reevaluate t

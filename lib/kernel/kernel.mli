@@ -32,9 +32,17 @@ type kthread
 type activation
 
 val create :
-  Sa_engine.Sim.t -> Sa_hw.Machine.t -> Sa_hw.Cost_model.t -> Kconfig.t -> t
+  ?ids:int ref ->
+  Sa_engine.Sim.t ->
+  Sa_hw.Machine.t ->
+  Sa_hw.Cost_model.t ->
+  Kconfig.t ->
+  t
 (** Build a kernel.  If [config.daemons] is set, the periodic kernel daemon
-    address space is created immediately. *)
+    address space is created immediately.  [ids] is the space/activation id
+    counter; cluster runs share one [ref] across all kernels so ids stay
+    globally unique under migration (default: a private counter — identical
+    single-machine behavior). *)
 
 val sim : t -> Sa_engine.Sim.t
 val machine : t -> Sa_hw.Machine.t
@@ -291,6 +299,36 @@ val debug_stop : t -> activation -> unit
 
 val debug_resume : t -> activation -> unit
 (** Resume a debugger-stopped activation exactly where it froze. *)
+
+(** {1 Cluster migration}
+
+    Moving a scheduler-activation address space between two kernels that
+    share one simulation (and one id counter — see {!create}).  The source
+    drains the space through the standard Table-2 preemption upcalls; the
+    package carries the space record and every activation record it owns;
+    the target re-registers it and the first grant delivers the backlog. *)
+
+type migration
+(** A space in transit: detached from its source kernel, not yet attached
+    anywhere.  Wakeups arriving mid-flight queue on the space and are
+    delivered after attach. *)
+
+val detach_space : t -> space -> migration
+(** Reclaim all of the space's processors (each interrupted context becomes
+    a [Processor_preempted] event in its pending queue), unregister it, and
+    remove its activation records from this kernel's tables.  Raises
+    [Invalid_argument] for kernel-thread spaces or spaces not registered
+    here. *)
+
+val attach_space : t -> migration -> unit
+(** Register a detached space on this kernel, re-point its home, re-index
+    its activation records, and trigger a reallocation pass so the pending
+    backlog is delivered with the first grant. *)
+
+val migration_space : migration -> space
+val migration_act_count : migration -> int
+(** Resident activation records in transit — the size proxy for the modeled
+    state-transfer cost. *)
 
 val sa_cpu_warned : t -> activation -> bool
 (** Under the warning protocol ({!Kconfig.preempt_warning}): is a

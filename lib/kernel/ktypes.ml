@@ -103,6 +103,12 @@ and space_kind = Kthreads of kt_space_state | Sa of sa_space_state
 and space = {
   sp_id : int;
   sp_name : string;
+  mutable sp_home : t;
+      (* the kernel this space is currently registered with.  Always the
+         creating kernel on a single machine; cluster migration re-points it
+         at the target kernel, and deferred notifications (I/O wakeups
+         scheduled before the move) resolve it at fire time so they reach
+         the space wherever it now lives *)
   mutable sp_prio : int;
   sp_kind : space_kind;
   mutable sp_desired : int;
@@ -166,9 +172,14 @@ and t = {
       (* per-state census maintained by [set_kt_state]; dumps and invariant
          audits read these instead of filtering a thread list *)
   mutable spaces : space list;  (* newest first; allocator pass order *)
-  spaces_by_id : (int, space) Hashtbl.t;  (* spaces are never removed *)
+  spaces_by_id : (int, space) Hashtbl.t;
+      (* removed only by cluster migration ([Kernel.detach_space]) *)
   mutable runqs : (int * kthread Queue.t) list;  (* native: prio desc *)
-  mutable next_id : int;
+  ids : int ref;
+      (* id counter for spaces, activations, kthreads and I/O requests.
+         Normally private to this kernel; a cluster shares one counter
+         across all its kernels so ids stay globally unique and id-indexed
+         client tables remain valid across space migration *)
   mutable realloc_pending : bool;
   mutable sched_pass_pending : bool;
   mutable rotation : int;
@@ -235,8 +246,8 @@ let slot_owned_by slot sp =
   match slot.slot_owner with Some o -> same_space o sp | None -> false
 
 let fresh_id t =
-  t.next_id <- t.next_id + 1;
-  t.next_id
+  incr t.ids;
+  !(t.ids)
 
 let tracef t fmt =
   Trace.emitf (Sim.trace t.sim) ~time:(Sim.now t.sim) Trace.Kernel fmt
@@ -298,6 +309,13 @@ let kthread_count t = Hashtbl.length t.kthreads
 let register_space t sp =
   t.spaces <- sp :: t.spaces;
   Hashtbl.replace t.spaces_by_id sp.sp_id sp
+
+(* Cluster migration only: pull a space out of this kernel's books.  The
+   space record itself stays live — it is about to be re-registered on a
+   peer kernel. *)
+let unregister_space t sp =
+  t.spaces <- List.filter (fun s -> not (same_space s sp)) t.spaces;
+  Hashtbl.remove t.spaces_by_id sp.sp_id
 
 (* ------------------------------------------------------------------ *)
 (* Slot helpers                                                        *)

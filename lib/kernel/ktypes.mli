@@ -76,6 +76,9 @@ and space_kind = Kthreads of kt_space_state | Sa of sa_space_state
 and space = {
   sp_id : int;
   sp_name : string;
+  mutable sp_home : t;
+      (** the kernel currently hosting this space; cluster migration
+          re-points it, and deferred notifications resolve it at fire time *)
   mutable sp_prio : int;
   sp_kind : space_kind;
   mutable sp_desired : int;
@@ -125,7 +128,9 @@ and t = {
   mutable spaces : space list;
   spaces_by_id : (int, space) Hashtbl.t;
   mutable runqs : (int * kthread Queue.t) list;
-  mutable next_id : int;
+  ids : int ref;
+      (** id counter; shared across a cluster's kernels so space/activation
+          ids stay globally unique under migration *)
   mutable realloc_pending : bool;
   mutable sched_pass_pending : bool;
   mutable rotation : int;
@@ -189,6 +194,10 @@ val kthread_count : t -> int
 val register_space : t -> space -> unit
 (** Prepend to [spaces] (newest first — the allocator's pass order) and
     index by id for O(1) [find_space]. *)
+
+val unregister_space : t -> space -> unit
+(** Cluster migration only: remove the space from [spaces] and the id
+    index.  The record stays live for re-registration on a peer kernel. *)
 
 (** {1 Tracing} *)
 

@@ -258,8 +258,10 @@ let sa_block_common t act ~arrange_wakeup k =
             :: s.pending;
           (* Deferred: the waker may be user code in the middle of its own
              segment-completion; interrupting processors is only sound from
-             the event loop, when every processor's state is quiescent. *)
-          defer t (fun () -> notify_sa t sp));
+             the event loop, when every processor's state is quiescent.
+             [sp_home] is resolved inside the closure: the space may have
+             migrated to another kernel between block and wakeup. *)
+          defer t (fun () -> notify_sa sp.sp_home sp));
       deliver_upcall t slot sp ~extra_cost:0
         [ Upcall.Activation_blocked { act = act.act_id } ]
   | A_blocked | A_stopped | A_free ->

@@ -159,3 +159,52 @@ let print_serve ~title (s : Experiments.serve_summary) =
     "kernel: %d upcalls, %d preemptions, %d reallocations; elapsed %.1f ms\n"
     s.Experiments.v_upcalls s.Experiments.v_preemptions
     s.Experiments.v_reallocations s.Experiments.v_elapsed_ms
+
+(* Cluster runs keep kernels separate: one section per machine (its own
+   upcall/preemption/migration counters, never summed across the cluster),
+   then the per-tenant tails, then the cluster-wide totals. *)
+let print_cluster ~title (s : Sa_cluster.Cluster.summary) =
+  let module C = Sa_cluster.Cluster in
+  let module Net = Sa_cluster.Net in
+  header title;
+  Printf.printf "%d machines x %d CPUs, %d tenants, %d requests completed\n"
+    s.C.cl_machines s.C.cl_cpus s.C.cl_tenants s.C.cl_requests_total;
+  List.iter
+    (fun (m : C.machine_row) ->
+      Printf.printf
+        "machine %d%s: %d tenants, util %4.1f%% | %d upcalls, %d preempts, \
+         %d reallocs | migs %d in / %d out | remote %d hits / %d fallbacks\n"
+        m.C.m_id
+        (if m.C.m_alive then "" else " (crashed)")
+        m.C.m_tenants_final
+        (100.0 *. m.C.m_util)
+        m.C.m_upcalls m.C.m_preemptions m.C.m_reallocations m.C.m_migs_in
+        m.C.m_migs_out m.C.m_remote_hits m.C.m_remote_fallbacks)
+    s.C.cl_machine_rows;
+  Printf.printf "%-6s %-12s %7s %5s %9s %9s %9s %8s %5s\n" "Tenant" "class"
+    "home" "done" "p50(us)" "p99(us)" "p999(us)" "SLO(ms)" "viol";
+  List.iter
+    (fun (r : C.tenant_row) ->
+      let home =
+        if r.C.c_home = r.C.c_home0 then Printf.sprintf "m%d" r.C.c_home
+        else Printf.sprintf "m%d->m%d" r.C.c_home0 r.C.c_home
+      in
+      Printf.printf "t%-5d %-12s %7s %5d %9.0f %9.0f %9.0f %8.0f %5d\n"
+        r.C.c_tenant r.C.c_class home r.C.c_completed r.C.c_p50_us
+        r.C.c_p99_us r.C.c_p999_us r.C.c_slo_ms r.C.c_violations)
+    s.C.cl_tenant_rows;
+  Printf.printf
+    "cluster: %d migrations, %d evacuations, %d crashes, %d partitions; %d \
+     remote hits, %d disk fallbacks\n"
+    s.C.cl_migrations s.C.cl_evacuations s.C.cl_crashes s.C.cl_partitions
+    s.C.cl_remote_hits s.C.cl_remote_fallbacks;
+  Printf.printf
+    "net: %d messages, %d bytes, %d drops; allocator: %d summaries (%d \
+     lost), %d commands, %d rebalances\n"
+    s.C.cl_net.Net.messages s.C.cl_net.Net.bytes s.C.cl_net.Net.drops
+    s.C.cl_alloc.Sa_cluster.Cluster_alloc.summaries
+    s.C.cl_alloc.Sa_cluster.Cluster_alloc.summary_drops
+    s.C.cl_alloc.Sa_cluster.Cluster_alloc.commands
+    s.C.cl_alloc.Sa_cluster.Cluster_alloc.rebalances;
+  Printf.printf "elapsed %.1f ms%s\n" s.C.cl_elapsed_ms
+    (if s.C.cl_completed_all then "" else " (INCOMPLETE: horizon expired)")

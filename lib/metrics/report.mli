@@ -18,3 +18,9 @@ val print_server : title:string -> Experiments.server_row list -> unit
 
 val print_serve : title:string -> Experiments.serve_summary -> unit
 (** Per-tenant SLO report for the multi-tenant serving scenario. *)
+
+val print_cluster : title:string -> Sa_cluster.Cluster.summary -> unit
+(** One section per machine (per-kernel counters are reported separately,
+    never summed across the cluster), then per-tenant tail latencies with
+    initial and final homes, then cluster-wide migration/net/allocator
+    totals. *)

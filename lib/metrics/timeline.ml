@@ -85,7 +85,7 @@ let attach ?(max_columns = default_max_columns) sys ~resolution =
 
 let samples t = t.count
 
-let render ?(width = 72) t ppf =
+let render ?(width = 72) ?(label = "") t ppf =
   let n = t.count in
   let cpus = if n = 0 then 0 else Array.length (column t 0) in
   if n = 0 || cpus = 0 then Format.fprintf ppf "(no samples)@."
@@ -95,7 +95,7 @@ let render ?(width = 72) t ppf =
     Format.fprintf ppf "one column = %a (%d samples)@." Time.pp_span
       (t.resolution * stride) n;
     for cpu = 0 to cpus - 1 do
-      Format.fprintf ppf "cpu%d |" cpu;
+      Format.fprintf ppf "%scpu%d |" label cpu;
       for i = 0 to shown - 1 do
         Format.pp_print_char ppf (column t (i * stride)).(cpu)
       done;

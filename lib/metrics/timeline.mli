@@ -23,7 +23,9 @@ val attach :
 val samples : t -> int
 (** Columns currently held (capped at [max_columns]). *)
 
-val render : ?width:int -> t -> Format.formatter -> unit
+val render : ?width:int -> ?label:string -> t -> Format.formatter -> unit
 (** Print one row per processor; each column is one sample.  Cells show the
     first letter of the occupying address space's name ([.] for idle).
-    [width] (default 72) caps the number of columns by striding. *)
+    [width] (default 72) caps the number of columns by striding.  [label]
+    prefixes every row — cluster runs pass ["m2:"] so the per-machine
+    charts stay tellable apart. *)

@@ -36,6 +36,7 @@ type stats = {
   mutable cs_recoveries : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable remote_fills : int;
 }
 
 type mutex_state = {
@@ -81,6 +82,10 @@ type state = {
   cache : Buffer_cache.t option;
   io_dev : Io_device.t option;
   cache_waiters : (int, tcb list) Hashtbl.t;
+  mutable remote_fill : (int -> ((unit -> unit) -> unit) option) option;
+      (* cluster hook: a miss may resolve from a peer machine's cache over
+         the network instead of the disk; [Some register] means the fetch
+         is in flight and [register wake] will deliver the block *)
   st : stats;
 }
 
@@ -127,6 +132,7 @@ let create_state ~queues ?(policy = Sched_policy.work_steal) ?cache ?io_dev ()
     cache;
     io_dev;
     cache_waiters = Hashtbl.create 16;
+    remote_fill = None;
     st =
       {
         forks = 0;
@@ -139,6 +145,7 @@ let create_state ~queues ?(policy = Sched_policy.work_steal) ?cache ?io_dev ()
         cs_recoveries = 0;
         cache_hits = 0;
         cache_misses = 0;
+        remote_fills = 0;
       };
   }
 
@@ -169,6 +176,7 @@ let threads_in s st =
     s.threads []
 
 let io_device s = s.io_dev
+let set_remote_fill s f = s.remote_fill <- f
 
 let queued_tids s =
   Array.to_list s.queues
@@ -568,12 +576,23 @@ let rec exec s d tcb prog =
                   s.st.kblocks <- s.st.kblocks + 1;
                   set_state s tcb Blocked_kernel;
                   let do_block fill_done =
-                    match s.io_dev with
-                    | Some dev ->
-                        d.block_kernel tcb
-                          ~register:(fun wake -> Io_device.submit dev wake)
-                          fill_done
-                    | None -> d.block_io tcb d.io_latency fill_done
+                    (* A peer machine's cache outranks the disk: consult the
+                       cluster's remote-fetch resolver first. *)
+                    match
+                      match s.remote_fill with
+                      | Some f -> f block
+                      | None -> None
+                    with
+                    | Some register ->
+                        s.st.remote_fills <- s.st.remote_fills + 1;
+                        d.block_kernel tcb ~register fill_done
+                    | None -> (
+                        match s.io_dev with
+                        | Some dev ->
+                            d.block_kernel tcb
+                              ~register:(fun wake -> Io_device.submit dev wake)
+                              fill_done
+                        | None -> d.block_io tcb d.io_latency fill_done)
                   in
                   do_block (fun () ->
                       set_state s tcb Running;

@@ -57,6 +57,9 @@ type stats = {
       (** preempted-in-critical-section continuations (Section 3.3) *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable remote_fills : int;
+      (** misses serviced from a peer machine's cache over the network
+          (cluster runs; see {!set_remote_fill}) *)
 }
 
 type state
@@ -97,6 +100,15 @@ val threads_in : state -> tstate -> tcb list
 
 val io_device : state -> Sa_hw.Io_device.t option
 (** The device servicing this state's cache misses, if one was attached. *)
+
+val set_remote_fill :
+  state -> (int -> ((unit -> unit) -> unit) option) option -> unit
+(** Install (or clear) the cluster's remote-fetch resolver, consulted on
+    every cache miss before the disk path.  [resolver block] returns
+    [Some register] when a peer machine can serve the block — the thread
+    then kernel-blocks and [register wake] delivers the fetched block —
+    or [None] to fall through to the disk.  Default: none (standalone
+    behaviour, bit-identical). *)
 
 val queued_tids : state -> int list
 (** Thread ids currently sitting in the ready deques, in queue order.

@@ -48,7 +48,9 @@ let journal_for needle =
   !out
 
 type t = {
-  kernel : Kernel.t;
+  mutable kernel : Kernel.t;
+      (* the kernel currently hosting our space; cluster migration re-points
+         it ([rehome]) before the space is attached to the target *)
   mutable space : Kernel.space option;
   mutable core_state : Ft_core.state;
   mutable driver : Ft_core.driver option;
@@ -484,3 +486,18 @@ let start t prog =
   let d = driver t in
   let root = Ft_core.new_thread t.core_state d ~name:"main" prog in
   Ft_core.make_ready t.core_state d ~at:0 root
+
+(* ------------------------------------------------------------------ *)
+(* Cluster migration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rehome t kernel = t.kernel <- kernel
+
+let nudge_demand t =
+  match t.space with
+  | None -> ()
+  | Some sp ->
+      let runnable = Ft_core.runnable_threads t.core_state in
+      let want = min t.max_procs runnable in
+      let n = want - Kernel.space_assigned sp in
+      if n > 0 then Kernel.sa_add_more_processors t.kernel sp n

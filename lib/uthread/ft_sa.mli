@@ -50,3 +50,16 @@ val journal_enabled : bool ref
 val journal_for : string -> string list
 (** Debug: recent driver actions mentioning the given substring (e.g.
     ["<tid96>"]), oldest first.  Empty unless {!journal_enabled} was set. *)
+
+(** {1 Cluster migration} *)
+
+val rehome : t -> Sa_kernel.Kernel.t -> unit
+(** Re-point the package at the kernel now hosting its space.  Call after
+    [Kernel.detach_space] and before [Kernel.attach_space] on the target,
+    so every downcall issued from then on reaches the right kernel. *)
+
+val nudge_demand : t -> unit
+(** Re-issue the Table-3 add-more-processors downcall from current runnable
+    count (capped at [max_procs]).  Used after a migration lands: the
+    detach zeroed the space's desire, and only wakeups — not already-ready
+    threads — would otherwise restore it. *)

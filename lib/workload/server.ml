@@ -139,10 +139,20 @@ type mt_params = {
   mt_requests : int;  (* per tenant *)
   mt_classes : tenant_class list;  (* tenant i draws class (i mod len) *)
   mt_seed : int;
+  mt_cache_blocks : int;
+      (* universe of buffer-cache blocks each subrequest reads from; 0
+         disables the cache-read ops entirely (and draws no extra randoms,
+         so pre-existing trajectories are untouched) *)
 }
 
 let default_mt_params =
-  { mt_tenants = 6; mt_requests = 200; mt_classes = default_classes; mt_seed = 11 }
+  {
+    mt_tenants = 6;
+    mt_requests = 200;
+    mt_classes = default_classes;
+    mt_seed = 11;
+    mt_cache_blocks = 0;
+  }
 
 let tenant_class p i =
   if p.mt_tenants <= 0 then invalid_arg "Server.tenant_class: tenants";
@@ -212,9 +222,22 @@ let tenant_program p tenant =
         Array.init cls.tc_fan_out (fun _ ->
             Rng.float rng 1.0 < cls.tc_io_probability))
   in
-  let subrequest coin =
+  (* Per-subrequest cache blocks ([-1] = no cache read).  Drawn after the
+     I/O coins so a zero-block configuration draws nothing extra. *)
+  let block_of =
+    if p.mt_cache_blocks <= 0 then fun _ _ -> -1
+    else begin
+      let blocks =
+        Array.init p.mt_requests (fun _ ->
+            Array.init cls.tc_fan_out (fun _ -> Rng.int rng p.mt_cache_blocks))
+      in
+      fun i j -> blocks.(i).(j)
+    end
+  in
+  let subrequest coin blk =
     B.to_program
       (let open B in
+       let* () = when_ (blk >= 0) (cache_read (max blk 0)) in
        let* () = when_ coin (io cls.tc_io_latency) in
        compute cls.tc_service_compute)
   in
@@ -223,6 +246,8 @@ let tenant_program p tenant =
       (let open B in
        let* () =
          if cls.tc_fan_out = 1 then
+           let blk = block_of i 0 in
+           let* () = when_ (blk >= 0) (cache_read (max blk 0)) in
            let* () = when_ does_io.(i).(0) (io cls.tc_io_latency) in
            compute cls.tc_service_compute
          else
@@ -230,7 +255,7 @@ let tenant_program p tenant =
              let rec spawn acc j =
                if j >= cls.tc_fan_out then return acc
                else
-                 let* tid = fork (subrequest does_io.(i).(j)) in
+                 let* tid = fork (subrequest does_io.(i).(j) (block_of i j)) in
                  spawn (tid :: acc) (j + 1)
              in
              spawn [] 0

@@ -74,6 +74,10 @@ type mt_params = {
   mt_requests : int;  (** per tenant *)
   mt_classes : tenant_class list;  (** tenant [i] draws class [i mod len] *)
   mt_seed : int;
+  mt_cache_blocks : int;
+      (** block universe each subrequest draws one [cache_read] from; 0
+          (the default) emits no cache reads and draws no extra randoms,
+          keeping pre-existing trajectories bit-identical *)
 }
 
 val default_mt_params : mt_params
