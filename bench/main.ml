@@ -312,6 +312,11 @@ type scale_row = {
   sc_events : int;  (* engine events fired (deterministic per schedule) *)
   sc_wall_ms : float;  (* host wall-clock for the run (machine-dependent) *)
   sc_events_per_s_wall : float;  (* engine event throughput against wall *)
+  sc_program_steps : int;  (* interpreter operations executed *)
+  sc_charge_segments : int;  (* logical charge requests *)
+  sc_charge_batches : int;  (* charge events actually issued *)
+  sc_spin_ns : int;  (* simulated ns burnt spinning on held cells *)
+  sc_recoveries : int;  (* Section 3.3 critical-section recoveries *)
 }
 
 let scale_configs = [ (32, 10_000); (64, 10_000) ]
@@ -381,6 +386,11 @@ let scale_one ~cpus ~threads =
     sc_events = events;
     sc_wall_ms = wall_ms;
     sc_events_per_s_wall = events_per_s_wall;
+    sc_program_steps = ft.Ft_core.program_steps;
+    sc_charge_segments = ft.Ft_core.charge_segments;
+    sc_charge_batches = ft.Ft_core.charge_batches;
+    sc_spin_ns = ft.Ft_core.cs_spin_ns;
+    sc_recoveries = ft.Ft_core.cs_recoveries;
   }
 
 let run_scale () =
@@ -414,6 +424,11 @@ let print_scale_json rows =
                   ("events_total", int r.sc_events);
                   ("wall_ms", fl r.sc_wall_ms);
                   ("events_per_s_wall", fl r.sc_events_per_s_wall);
+                  ("program_steps", int r.sc_program_steps);
+                  ("charge_segments", int r.sc_charge_segments);
+                  ("charge_batches", int r.sc_charge_batches);
+                  ("cs_spin_ns", int r.sc_spin_ns);
+                  ("cs_recoveries", int r.sc_recoveries);
                 ])
             rows );
     ];
@@ -422,15 +437,20 @@ let print_scale_json rows =
 
 let print_scale_text rows =
   Printf.printf "\n%s\n%s\n" scale_title (String.make 78 '-');
-  Printf.printf "%6s %8s %12s %14s %8s %8s %10s %7s %9s %8s %11s\n" "cpus"
-    "threads" "makespan_ms" "thr/sim-sec" "steals" "upcalls" "dispatches"
-    "realloc" "events" "wall_ms" "ev/s-wall";
+  Printf.printf "%6s %8s %12s %14s %8s %8s %10s %7s %9s %8s %11s %9s %9s %7s\n"
+    "cpus" "threads" "makespan_ms" "thr/sim-sec" "steals" "upcalls"
+    "dispatches" "realloc" "events" "wall_ms" "ev/s-wall" "steps" "segments"
+    "batch%";
   List.iter
     (fun r ->
-      Printf.printf "%6d %8d %12.2f %14.0f %8d %8d %10d %7d %9d %8.1f %11.0f\n"
+      Printf.printf
+        "%6d %8d %12.2f %14.0f %8d %8d %10d %7d %9d %8.1f %11.0f %9d %9d %7.1f\n"
         r.sc_cpus r.sc_threads r.sc_makespan_ms r.sc_throughput r.sc_steals
         r.sc_upcalls r.sc_dispatches r.sc_reallocations r.sc_events r.sc_wall_ms
-        r.sc_events_per_s_wall)
+        r.sc_events_per_s_wall r.sc_program_steps r.sc_charge_segments
+        (100.
+        *. float_of_int r.sc_charge_batches
+        /. float_of_int (max 1 r.sc_charge_segments)))
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -510,6 +530,9 @@ let print_serve_json (s : E.serve_summary) =
                           ("grants", int r.E.v_grants);
                           ("preempts", int r.E.v_preempts);
                           ("cpu_seconds", fl r.E.v_cpu_seconds);
+                          ("program_steps", int r.E.v_program_steps);
+                          ("charge_segments", int r.E.v_charge_segments);
+                          ("charge_batches", int r.E.v_charge_batches);
                         ])
                     s.E.v_rows );
             ] );
@@ -771,6 +794,54 @@ let calq_bench =
               done));
     ]
 
+(* The compiled-program interpreter measured in isolation: arena-compile
+   cost (with fork-child memoization over a shared leaf), the flat step
+   loop's dispatch over an accumulate-and-yield body, and the sync-op fast
+   path (uncontended acquire/release).  The interpreter runs are pinned to
+   one CPU so the numbers track per-op interpreter overhead, not
+   scheduling.  Gated by [micro --check] alongside the engine groups. *)
+let program_bench =
+  let module Program = Sa_program.Program in
+  let module Time = Sa_engine.Time in
+  let module System = Sa.System in
+  let leaf =
+    Program.Build.(
+      to_program
+        (let* () = compute (Time.us 1) in
+         let* () = yield in
+         compute (Time.us 1)))
+  in
+  let fanout =
+    Program.Build.(to_program (repeat 64 (fun _ -> fork_unit leaf)))
+  in
+  let stepper =
+    Program.Build.(
+      to_program
+        (repeat 250 (fun _ ->
+             let* () = compute (Time.ns 100) in
+             yield)))
+  in
+  let locker =
+    let m = Program.Mutex.create ~name:"bench" () in
+    Program.Build.(
+      to_program
+        (repeat 250 (fun _ -> critical m (compute (Time.ns 100)))))
+  in
+  let run_one prog () =
+    let sys = System.create ~cpus:1 () in
+    Sa_engine.Trace.set_recording (Sa_engine.Sim.trace (System.sim sys)) false;
+    ignore (System.submit sys ~backend:`Fastthreads_on_sa ~name:"micro" prog);
+    System.run sys
+  in
+  Test.make_grouped ~name:"program"
+    [
+      Test.make ~name:"compile fanout-64"
+        (Staged.stage (fun () -> ignore (Program.compile fanout)));
+      Test.make ~name:"step dispatch yield x250"
+        (Staged.stage (run_one stepper));
+      Test.make ~name:"sync fast path x250" (Staged.stage (run_one locker));
+    ]
+
 let micro_estimates test =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -799,7 +870,7 @@ let run_micro () =
       List.iter
         (fun (name, est) -> Printf.printf "%-44s %14.1f ns/run\n" name est)
         (micro_estimates test))
-    [ paper_tests; simulator_tests; calq_bench ]
+    [ paper_tests; simulator_tests; calq_bench; program_bench ]
 
 (* ------------------------------------------------------------------ *)
 (* Micro regression gate                                               *)
@@ -819,7 +890,9 @@ let micro_gate_file = "bench/MICRO_BASELINE.txt"
    its variance comes from workload content, which the digest gate already
    pins byte-for-byte. *)
 let micro_gate_estimates () =
-  micro_estimates simulator_tests @ micro_estimates calq_bench
+  micro_estimates simulator_tests
+  @ micro_estimates calq_bench
+  @ micro_estimates program_bench
   |> List.sort compare
 
 let micro_record () =
@@ -913,7 +986,13 @@ let () =
     };
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
-  let args = List.filter (fun a -> a <> "--json") args in
+  (* Escape hatch for A/B measurement and the record->replay cross-check:
+     force the reference CPS interpreter everywhere. *)
+  if List.mem "--no-compile" args then
+    Sa_uthread.Ft_core.compiled_enabled := false;
+  let args =
+    List.filter (fun a -> a <> "--json" && a <> "--no-compile") args
+  in
   if json then begin
     match args with
     | [ "scale" ] -> print_scale_json (run_scale ())

@@ -46,13 +46,21 @@ let segment_label who =
 let segment_space who =
   match who with Occupant { space; _ } -> space | _ -> Trace.no_id
 
+(* Both sites run on every charged segment — begin and end — so the
+   category check is hoisted in front of the argument evaluation and
+   optional-parameter binding instead of relying on [Trace.record]'s own
+   gate. *)
 let trace_segment_begin t =
-  Trace.span_begin (Sim.trace t.sim) ~time:(Sim.now t.sim) ~cpu:t.cpu_id
-    ~space:(segment_space t.who) Trace.Cpu (segment_label t.who)
+  let tr = Sim.trace t.sim in
+  if Trace.enabled tr Trace.Cpu then
+    Trace.span_begin tr ~time:(Sim.now t.sim) ~cpu:t.cpu_id
+      ~space:(segment_space t.who) Trace.Cpu (segment_label t.who)
 
 let trace_segment_end t ~who ?detail () =
-  Trace.span_end (Sim.trace t.sim) ~time:(Sim.now t.sim) ~cpu:t.cpu_id
-    ~space:(segment_space who) ?detail Trace.Cpu (segment_label who)
+  let tr = Sim.trace t.sim in
+  if Trace.enabled tr Trace.Cpu then
+    Trace.span_end tr ~time:(Sim.now t.sim) ~cpu:t.cpu_id
+      ~space:(segment_space who) ?detail Trace.Cpu (segment_label who)
 
 let create sim cpu_id =
   let t =

@@ -502,6 +502,9 @@ type serve_tenant_row = {
   v_grants : int;
   v_preempts : int;
   v_cpu_seconds : float;
+  v_program_steps : int;  (* interpreter ops executed for this tenant *)
+  v_charge_segments : int;  (* logical charge requests *)
+  v_charge_batches : int;  (* charge events actually issued *)
 }
 
 type serve_summary = {
@@ -544,6 +547,11 @@ let serve ?(params = Sa_workload.Server.default_mt_params) ?(cpus = 64)
             ~slo:cls.Server.tc_slo
         in
         let sp = System.space job in
+        let ft =
+          match System.uthread_stats job with
+          | Some st -> st
+          | None -> failwith "serve: tenant without uthread stats"
+        in
         {
           v_tenant = Server.tenant_name params i;
           v_class = cls.Server.tc_class;
@@ -560,6 +568,9 @@ let serve ?(params = Sa_workload.Server.default_mt_params) ?(cpus = 64)
           v_grants = Kernel.space_grants sp;
           v_preempts = Kernel.space_preempts sp;
           v_cpu_seconds = Kernel.space_cpu_seconds kernel sp;
+          v_program_steps = ft.Ft_core.program_steps;
+          v_charge_segments = ft.Ft_core.charge_segments;
+          v_charge_batches = ft.Ft_core.charge_batches;
         })
       tenants
   in

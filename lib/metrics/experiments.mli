@@ -126,6 +126,9 @@ type serve_tenant_row = {
   v_grants : int;  (** processors granted to this tenant's address space *)
   v_preempts : int;  (** processors preempted from it *)
   v_cpu_seconds : float;
+  v_program_steps : int;  (** interpreter operations executed *)
+  v_charge_segments : int;  (** logical charge requests *)
+  v_charge_batches : int;  (** charge events actually issued *)
 }
 
 type serve_summary = {

@@ -144,16 +144,23 @@ let print_serve ~title (s : Experiments.serve_summary) =
   header title;
   Printf.printf "%d tenants, %d requests total, %d CPUs\n" s.Experiments.v_tenant_count
     s.Experiments.v_requests_total s.Experiments.v_cpus;
-  Printf.printf "%-18s %5s %9s %9s %9s %9s %8s %7s %7s %7s\n" "Tenant" "done"
-    "p50(us)" "p99(us)" "p999(us)" "max(us)" "SLO(ms)" "viol%" "grants" "preempt";
+  Printf.printf "%-18s %5s %9s %9s %9s %9s %8s %7s %7s %7s %8s %7s\n" "Tenant"
+    "done" "p50(us)" "p99(us)" "p999(us)" "max(us)" "SLO(ms)" "viol%" "grants"
+    "preempt" "steps" "chg/ev";
   List.iter
     (fun (r : Experiments.serve_tenant_row) ->
-      Printf.printf "%-18s %5d %9.0f %9.0f %9.0f %9.0f %8.0f %6.1f%% %7d %7d\n"
+      Printf.printf
+        "%-18s %5d %9.0f %9.0f %9.0f %9.0f %8.0f %6.1f%% %7d %7d %8d %6.2f\n"
         r.Experiments.v_tenant r.Experiments.v_completed r.Experiments.v_p50_us
         r.Experiments.v_p99_us r.Experiments.v_p999_us r.Experiments.v_max_us
         r.Experiments.v_slo_ms
         (100.0 *. r.Experiments.v_violation_frac)
-        r.Experiments.v_grants r.Experiments.v_preempts)
+        r.Experiments.v_grants r.Experiments.v_preempts
+        r.Experiments.v_program_steps
+        (if r.Experiments.v_charge_batches = 0 then 0.0
+         else
+           float_of_int r.Experiments.v_charge_segments
+           /. float_of_int r.Experiments.v_charge_batches))
     s.Experiments.v_rows;
   Printf.printf
     "kernel: %d upcalls, %d preemptions, %d reallocations; elapsed %.1f ms\n"

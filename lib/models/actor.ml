@@ -16,26 +16,31 @@ let create ?(name = "actor") () =
 
 let pending t = Queue.length t.box
 
+(* [send] and [receive] touch the host-level mailbox queue from their
+   continuations, so both are force-dependent ([B.dynamic]): eager
+   compilation would move messages at compile time. *)
 let send t msg =
   let open B in
-  let* () = acquire t.lock in
-  let* () = compute (Sa_engine.Time.us 2) in
-  Queue.add msg t.box;
-  let* () = release t.lock in
-  sem_v t.arrivals
+  dynamic
+    (let* () = acquire t.lock in
+     let* () = compute (Sa_engine.Time.us 2) in
+     Queue.add msg t.box;
+     let* () = release t.lock in
+     sem_v t.arrivals)
 
 let receive t =
   let open B in
-  let* () = sem_p t.arrivals in
-  let* () = acquire t.lock in
-  let* () = compute (Sa_engine.Time.us 2) in
-  match Queue.take_opt t.box with
-  | Some msg ->
-      let* () = release t.lock in
-      return msg
-  | None ->
-      (* impossible: the semaphore counts exactly the enqueued messages *)
-      invalid_arg "Actor.receive: semaphore/mailbox mismatch"
+  dynamic
+    (let* () = sem_p t.arrivals in
+     let* () = acquire t.lock in
+     let* () = compute (Sa_engine.Time.us 2) in
+     match Queue.take_opt t.box with
+     | Some msg ->
+         let* () = release t.lock in
+         return msg
+     | None ->
+         (* impossible: the semaphore counts exactly the enqueued messages *)
+         invalid_arg "Actor.receive: semaphore/mailbox mismatch")
 
 let spawn_handler t ~work_per_message ?(handle = fun _ -> ()) ~stop () =
   let open B in

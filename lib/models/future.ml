@@ -14,10 +14,15 @@ let is_resolved f = !(f.cell) <> None
 (* Resolution V's the semaphore once; each toucher that finds the future
    unresolved P's it and immediately V's it again, so every waiter gets
    through — a broadcast built from a counting semaphore. *)
+(* Both [resolve] and [get] consult or mutate the host-level cell from
+   their continuations, so they are force-dependent: the [B.dynamic]
+   marker keeps any containing program on the reference interpreter
+   (eager compilation would run these effects at compile time). *)
 let resolve fut value =
   let open B in
-  let* () = return (fut.cell := Some value) in
-  sem_v fut.done_sem
+  dynamic
+    (let* () = return (fut.cell := Some value) in
+     sem_v fut.done_sem)
 
 let value_of fut =
   match !(fut.cell) with
@@ -25,21 +30,27 @@ let value_of fut =
   | None -> invalid_arg "Future: touched an unresolved future"
 
 let get fut =
+  (* [get fut] itself evaluates when the enclosing chain is forced, so
+     the resolution check happens at the right simulated instant. *)
   let open B in
-  if is_resolved fut then return (value_of fut)
-  else
-    let* () = sem_p fut.done_sem in
-    (* pass the token on to the next waiter *)
-    let* () = sem_v fut.done_sem in
-    return (value_of fut)
+  dynamic
+    (if is_resolved fut then return (value_of fut)
+     else
+       let* () = sem_p fut.done_sem in
+       (* pass the token on to the next waiter *)
+       let* () = sem_v fut.done_sem in
+       return (value_of fut))
 
 let spawn ~work f =
   let open B in
   let fut = create () in
+  (* head marker: keeps the compiler from evaluating [f ()] eagerly while
+     forcing its way to the [resolve] marker *)
   let producer =
-    B.to_program
-      (let* () = compute work in
-       resolve fut (f ()))
+    P.Dynamic
+      (B.to_program
+         (let* () = compute work in
+          resolve fut (f ())))
   in
   let* _tid = fork producer in
   return fut
@@ -48,11 +59,12 @@ let map2 ~work f a b =
   let open B in
   let fut = create () in
   let producer =
-    B.to_program
-      (let* va = get a in
-       let* vb = get b in
-       let* () = compute work in
-       resolve fut (f va vb))
+    P.Dynamic
+      (B.to_program
+         (let* va = get a in
+          let* vb = get b in
+          let* () = compute work in
+          resolve fut (f va vb)))
   in
   let* _tid = fork producer in
   return fut

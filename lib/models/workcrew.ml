@@ -54,7 +54,10 @@ let run ~workers ?(on_task = fun _ -> ()) tasks =
         let* () = finish_task t in
         worker_loop ()
   in
-  let worker = B.to_program (worker_loop ()) in
+  (* The loop branches on the host-level bag and [outstanding] counter at
+     force time, so the worker program is force-dependent: the [Dynamic]
+     marker keeps it (and any tree that forks it) off the eager compiler. *)
+  let worker = P.Dynamic (B.to_program (worker_loop ())) in
   B.to_program
     (let* tids =
        let rec go acc i =

@@ -70,6 +70,11 @@ type t =
   | Yield of (unit -> t)
   | Stamp of int * (unit -> t)
   | Set_priority of int * (unit -> t)
+  | Dynamic of t
+      (* force-dependent marker: the wrapped program's continuations read
+         or write host state, so they must be forced at simulated
+         execution time; [compile] refuses the whole containing tree and
+         interpreters unwrap transparently *)
 
 module Build = struct
   type 'a m = ('a -> t) -> t
@@ -102,6 +107,7 @@ module Build = struct
   let yield k = Yield (fun () -> k ())
   let stamp id k = Stamp (id, fun () -> k ())
   let set_priority p k = Set_priority (p, fun () -> k ())
+  let dynamic m k = Dynamic (m k)
 
   let repeat n f =
     let rec go i = if i >= n then return () else bind (f i) (fun () -> go (i + 1)) in
@@ -119,6 +125,258 @@ end
 
 let null = Done
 let compute_only d = Compute (d, fun () -> Done)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled flat representation                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Code = struct
+  (* Op tags.  Interpreters match on the integer literals directly (an
+     18-way [match] on an int compiles to a jump table); the constants
+     below exist so they can sanity-check the numbering at module init. *)
+  let op_done = 0
+  let op_compute = 1
+  let op_acquire = 2
+  let op_release = 3
+  let op_wait = 4
+  let op_signal = 5
+  let op_broadcast = 6
+  let op_sem_p = 7
+  let op_sem_v = 8
+  let op_ksem_p = 9
+  let op_ksem_v = 10
+  let op_fork = 11
+  let op_join = 12
+  let op_io = 13
+  let op_cache_read = 14
+  let op_yield = 15
+  let op_stamp = 16
+  let op_set_priority = 17
+
+  type t = {
+    op : int array;  (* op tag *)
+    a : int array;
+        (* first operand: span (compute/io), sync-object index
+           (acquire/release/signal/broadcast/sem/ksem), cond index (wait),
+           child entry pc (fork), join target (>= 0: literal runtime tid;
+           < 0: [-(site+1)], resolved through the thread's fork bindings),
+           block (cache_read), marker id (stamp), priority *)
+    b : int array;  (* second operand: mutex index (wait), fork site (fork) *)
+    nx : int array;  (* next pc (-1 terminates; only op_done has -1) *)
+    mutexes : Mutex.t array;  (* code-local index -> object *)
+    conds : Cond.t array;
+    sems : Sem.t array;
+    ksems : Sem.t array;  (* separate index space: matches backend state *)
+    fork_sites : int;
+  }
+
+  let length c = Array.length c.op
+end
+
+(* Fork continuations are forced symbolically: each fork site hands its
+   continuation a unique, hugely negative sentinel thread id.  A sentinel
+   showing up anywhere except a [Join] target means the program computes
+   on thread ids — compilation aborts and the caller falls back to the
+   reference interpreter.  [min_int/4] leaves sentinel +/- small-int
+   arithmetic still recognizably suspicious. *)
+let sentinel_base = min_int / 2
+let sentinel_threshold = min_int / 4
+let sentinel_of_site site = sentinel_base - site
+let is_sentinel v = v <= sentinel_base
+
+exception Compile_abort
+
+let compile ?(budget = 1_000_000) prog =
+  let cap = ref 64 in
+  let op = ref (Array.make !cap 0)
+  and a = ref (Array.make !cap 0)
+  and b = ref (Array.make !cap 0)
+  and nx = ref (Array.make !cap (-1)) in
+  let len = ref 0 in
+  let emit o av bv =
+    if !len >= budget then raise Compile_abort;
+    if !len >= !cap then begin
+      let ncap = !cap * 2 in
+      let grow arr fill =
+        let n = Array.make ncap fill in
+        Array.blit !arr 0 n 0 !len;
+        arr := n
+      in
+      grow op 0; grow a 0; grow b 0; grow nx (-1);
+      cap := ncap
+    end;
+    let pc = !len in
+    !op.(pc) <- o;
+    !a.(pc) <- av;
+    !b.(pc) <- bv;
+    !nx.(pc) <- -1;
+    incr len;
+    pc
+  in
+  (* Sync objects are interned to dense code-local indices, one space per
+     kind (user and kernel semaphore state live in separate tables, so a
+     [Sem.t] used both ways gets an index in each). *)
+  let intern tbl lst count key obj =
+    match Hashtbl.find_opt tbl key with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add tbl key i;
+        lst := obj :: !lst;
+        i
+  in
+  let mtbl = Hashtbl.create 8 and mlst = ref [] and mn = ref 0 in
+  let ctbl = Hashtbl.create 8 and clst = ref [] and cn = ref 0 in
+  let stbl = Hashtbl.create 8 and slst = ref [] and sn = ref 0 in
+  let ktbl = Hashtbl.create 8 and klst = ref [] and kn = ref 0 in
+  let midx m = intern mtbl mlst mn (Mutex.id m) m in
+  let cidx c = intern ctbl clst cn (Cond.id c) c in
+  let sidx s = intern stbl slst sn (Sem.id s) s in
+  let kidx s = intern ktbl klst kn (Sem.id s) s in
+  let check v = if v < sentinel_threshold then raise Compile_abort; v in
+  let check_span v = if v < 0 then raise Compile_abort; v in
+  let nsites = ref 0 in
+  (* Each compiled instruction has exactly one predecessor (subtrees are
+     duplicated, never shared), so every instruction belongs to exactly one
+     thread-straight-line region: the root is region 0, each fork child
+     opens a fresh region while the continuation stays in the forker's.  A
+     join on a site recorded under a different region would look up a fork
+     binding its own thread never established — abort (the program captured
+     a thread id across a fork boundary). *)
+  let site_region = Hashtbl.create 16 in
+  let next_region = ref 1 in
+  (* Physically-shared fork children compile once and every fork site
+     points at the same entry pc.  Fan-out programs fork one shared
+     subtree thousands of times; duplicating it would make compilation
+     O(instances) and blow the arena for no behavioural gain — joins
+     resolve fork sites through each running thread's own bindings, so
+     instances sharing code (and fork sites) stay independent.  Keyed on
+     physical equality: a non-[Dynamic] tree is force-pure by contract,
+     so forcing it once stands for every instance.  The list stays tiny
+     (distinct shared children, capped), so [==] scans beat hashing. *)
+  let child_memo = ref [] in
+  let rec go region prog0 =
+    let entry = ref (-1) and patch = ref (-1) in
+    let link pc =
+      if !entry = -1 then entry := pc else !nx.(!patch) <- pc;
+      patch := pc
+    in
+    let cur = ref prog0 in
+    let running = ref true in
+    while !running do
+      match !cur with
+      | Done ->
+          link (emit Code.op_done 0 0);
+          running := false
+      | Compute (d, k) ->
+          link (emit Code.op_compute (check_span d) 0);
+          cur := k ()
+      | Acquire (m, k) ->
+          link (emit Code.op_acquire (midx m) 0);
+          cur := k ()
+      | Release (m, k) ->
+          link (emit Code.op_release (midx m) 0);
+          cur := k ()
+      | Wait (c, m, k) ->
+          link (emit Code.op_wait (cidx c) (midx m));
+          cur := k ()
+      | Signal (c, k) ->
+          link (emit Code.op_signal (cidx c) 0);
+          cur := k ()
+      | Broadcast (c, k) ->
+          link (emit Code.op_broadcast (cidx c) 0);
+          cur := k ()
+      | Sem_p (s, k) ->
+          link (emit Code.op_sem_p (sidx s) 0);
+          cur := k ()
+      | Sem_v (s, k) ->
+          link (emit Code.op_sem_v (sidx s) 0);
+          cur := k ()
+      | Ksem_p (s, k) ->
+          link (emit Code.op_ksem_p (kidx s) 0);
+          cur := k ()
+      | Ksem_v (s, k) ->
+          link (emit Code.op_ksem_v (kidx s) 0);
+          cur := k ()
+      | Fork (child, k) ->
+          let site = !nsites in
+          incr nsites;
+          Hashtbl.replace site_region site region;
+          let pc = emit Code.op_fork 0 site in
+          link pc;
+          let child_pc =
+            match List.find_opt (fun (c, _) -> c == child) !child_memo with
+            | Some (_, cpc) -> cpc
+            | None ->
+                let child_region = !next_region in
+                incr next_region;
+                let cpc = go child_region child in
+                if List.length !child_memo < 64 then
+                  child_memo := (child, cpc) :: !child_memo;
+                cpc
+          in
+          !a.(pc) <- child_pc;
+          cur := k (sentinel_of_site site)
+      | Join (tid, k) ->
+          let operand =
+            if is_sentinel tid then begin
+              let site = sentinel_base - tid in
+              (match Hashtbl.find_opt site_region site with
+              | Some r when r = region -> ()
+              | Some _ | None -> raise Compile_abort);
+              -(site + 1)
+            end
+            else if tid < 0 then raise Compile_abort
+            else tid
+          in
+          link (emit Code.op_join operand 0);
+          cur := k ()
+      | Io (d, k) ->
+          link (emit Code.op_io (check_span d) 0);
+          cur := k ()
+      | Cache_read (blk, k) ->
+          link (emit Code.op_cache_read (check blk) 0);
+          cur := k ()
+      | Yield k ->
+          link (emit Code.op_yield 0 0);
+          cur := k ()
+      | Stamp (id, k) ->
+          link (emit Code.op_stamp (check id) 0);
+          cur := k ()
+      | Set_priority (p, k) ->
+          link (emit Code.op_set_priority (check p) 0);
+          cur := k ()
+      | Dynamic _ ->
+          (* Force-dependent program: eager forcing would run its host
+             effects at compile time instead of at execution. *)
+          raise Compile_abort
+    done;
+    !entry
+  in
+  match go 0 prog with
+  | exception ((Out_of_memory | Assert_failure _) as e) -> raise e
+  | exception _ ->
+      (* Any exception during eager forcing (including [Compile_abort] and
+         [Stack_overflow] on pathologically deep fork nesting) falls back
+         to the reference interpreter, which forces continuations lazily
+         at the original program-order points. *)
+      None
+  | root_pc ->
+      assert (root_pc = 0);
+      let trim arr = Array.sub !arr 0 !len in
+      Some
+        {
+          Code.op = trim op;
+          a = trim a;
+          b = trim b;
+          nx = trim nx;
+          mutexes = Array.of_list (List.rev !mlst);
+          conds = Array.of_list (List.rev !clst);
+          sems = Array.of_list (List.rev !slst);
+          ksems = Array.of_list (List.rev !klst);
+          fork_sites = !nsites;
+        }
 
 let op_count prog ~max =
   let rec go n prog =
@@ -146,6 +404,7 @@ let op_count prog ~max =
       | Fork (child, k) ->
           let n = go (n + 1) child in
           if n >= max then n else go n (k (-1))
+      | Dynamic p -> go n p
   in
   go 0 prog
 
@@ -227,6 +486,9 @@ let pp ppf prog =
           Format.fprintf ppf "prio(%d); %a" p
             (fun ppf () -> go ppf (k ()) depth)
             ()
+      | Dynamic _ ->
+          (* declared force-dependent: rendering would run host effects *)
+          Format.pp_print_string ppf "dynamic(...)"
     end
   in
   go ppf prog 0

@@ -82,6 +82,16 @@ type t =
           kernel to interrupt a processor running lower-priority work
           (Section 3.1); the kernel-thread backends ignore it — kernel
           threads are scheduled obliviously, which is the paper's point *)
+  | Dynamic of t
+      (** marks the wrapped program as {e force-dependent}: its
+          continuations read or write host state (a future's cell, a work
+          bag, a mailbox), so they must be forced at simulated execution
+          time, never eagerly.  {!compile} refuses any tree containing the
+          marker — every backend then runs the program on the reference
+          CPS interpreter, whose force-at-execution semantics such programs
+          rely on.  Interpreters unwrap it transparently at zero simulated
+          cost.  Pure-structure programs (spans and sync objects only in
+          continuations) never need it. *)
 
 (** Monadic builder for writing programs in direct style:
     {[
@@ -123,12 +133,98 @@ module Build : sig
   val stamp : int -> unit m
   val set_priority : int -> unit m
 
+  val dynamic : 'a m -> 'a m
+  (** Wrap the rest of the chain in a {!Dynamic} marker (see the
+      constructor's doc): use at the head of any builder whose
+      continuations consult or mutate host state. *)
+
   val repeat : int -> (int -> unit m) -> unit m
   (** [repeat n f] runs [f 0; f 1; ...; f (n-1)] in sequence. *)
 
   val iter_list : 'a list -> ('a -> unit m) -> unit m
   val when_ : bool -> unit m -> unit m
 end
+
+(** Compiled, arena-allocated flat representation: the whole program tree
+    forced once into parallel int arrays (op tag + operands + next-pc), so
+    interpreters run a pc-indexed step loop instead of rebuilding
+    [(unit -> t)] continuations per operation.  Sync objects are interned
+    to dense code-local indices resolved against backend state once at
+    link time.  Built by {!compile}; the constructor API above stays the
+    frontend, so workloads never see this type. *)
+module Code : sig
+  type t = {
+    op : int array;  (** op tag, one of the [op_*] constants below *)
+    a : int array;
+        (** first operand: span (compute/io), sync-object index, cond index
+            (wait), child entry pc (fork), join target ([>= 0] literal
+            runtime tid, [< 0] is [-(site+1)] resolved through the joining
+            thread's own fork bindings), block (cache_read), marker id
+            (stamp), priority *)
+    b : int array;  (** second operand: mutex index (wait), fork site (fork) *)
+    nx : int array;  (** next pc ([-1] terminates; only [op_done] has [-1]) *)
+    mutexes : Mutex.t array;  (** code-local mutex index -> object *)
+    conds : Cond.t array;
+    sems : Sem.t array;
+    ksems : Sem.t array;
+        (** kernel-semaphore index space, separate from [sems]: user and
+            kernel semaphore state live in separate backend tables *)
+    fork_sites : int;  (** number of fork sites (bounds bind-list length) *)
+  }
+
+  (** Interpreters dispatch with a [match] on the raw tag (a jump table);
+      these constants exist so they can assert the numbering at init. *)
+
+  val op_done : int  (** = 0 *)
+
+  val op_compute : int  (** = 1 *)
+
+  val op_acquire : int  (** = 2 *)
+
+  val op_release : int  (** = 3 *)
+
+  val op_wait : int  (** = 4 *)
+
+  val op_signal : int  (** = 5 *)
+
+  val op_broadcast : int  (** = 6 *)
+
+  val op_sem_p : int  (** = 7 *)
+
+  val op_sem_v : int  (** = 8 *)
+
+  val op_ksem_p : int  (** = 9 *)
+
+  val op_ksem_v : int  (** = 10 *)
+
+  val op_fork : int  (** = 11 *)
+
+  val op_join : int  (** = 12 *)
+
+  val op_io : int  (** = 13 *)
+
+  val op_cache_read : int  (** = 14 *)
+
+  val op_yield : int  (** = 15 *)
+
+  val op_stamp : int  (** = 16 *)
+
+  val op_set_priority : int  (** = 17 *)
+
+  val length : t -> int
+end
+
+val compile : ?budget:int -> t -> Code.t option
+(** Force the program tree eagerly into a {!Code.t} arena (root entry at
+    pc 0).  Fork continuations are forced symbolically with a per-site
+    sentinel thread id; [Join] on a sentinel compiles to a fork-site
+    reference resolved at run time through the joining thread's own fork
+    bindings.  Returns [None] — callers fall back to the reference CPS
+    interpreter — when the program computes on thread ids (a sentinel
+    escapes into any non-join operand, or joins a fork another thread
+    performed), exceeds [budget] instructions (default 1M; catches
+    unbounded recursion — shared subtrees are duplicated, not memoized),
+    or any exception escapes the eager forcing. *)
 
 val null : t
 (** The empty program (exits immediately). *)

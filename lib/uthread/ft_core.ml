@@ -1,13 +1,41 @@
 module Time = Sa_engine.Time
 module Program = Sa_program.Program
+module Pcode = Sa_program.Program.Code
 module Cost_model = Sa_hw.Cost_model
 module Buffer_cache = Sa_hw.Buffer_cache
 module Io_device = Sa_hw.Io_device
 
+(* The step loop dispatches on raw int tags (a jump table); pin the
+   numbering it assumes to the constants [Program.Code] exports. *)
+let () =
+  assert (
+    Pcode.op_done = 0 && Pcode.op_compute = 1 && Pcode.op_acquire = 2
+    && Pcode.op_release = 3 && Pcode.op_wait = 4 && Pcode.op_signal = 5
+    && Pcode.op_broadcast = 6 && Pcode.op_sem_p = 7 && Pcode.op_sem_v = 8
+    && Pcode.op_ksem_p = 9 && Pcode.op_ksem_v = 10 && Pcode.op_fork = 11
+    && Pcode.op_join = 12 && Pcode.op_io = 13 && Pcode.op_cache_read = 14
+    && Pcode.op_yield = 15 && Pcode.op_stamp = 16
+    && Pcode.op_set_priority = 17)
+
 type strategy = Copy_sections | Explicit_flag
 type tstate = Embryo | Ready | Running | Blocked_user | Blocked_kernel | Done
 
-type cs_cell = { mutable owner : int option }
+(* [lease_until]/[lease_for] implement time-window ("lease") locks: a
+   dispatcher that folds its dispatch charge into the dispatched thread's
+   accumulator ({!fold_dispatch}) releases the queue cell under a lease
+   covering the window it would otherwise have held the cell across a
+   charge event.  Probes from other owners fail through the expiry instant
+   inclusive — in the unfolded schedule the unlock and the dispatched
+   thread's next cell acquisition run inside the same event callback, so
+   the cell never appears free to other events at that instant — which
+   makes thieves observe exactly the reference interpreter's contention
+   window.  [lease_for] (the dispatched thread) passes through, since its
+   own merged charge covers the same window. *)
+type cs_cell = {
+  mutable owner : int option;
+  mutable lease_until : Time.t;
+  mutable lease_for : int;
+}
 
 type tcb = {
   tid : int;
@@ -23,6 +51,18 @@ type tcb = {
          the thread parks itself on the ready list and control returns to
          the original upcall via this hook *)
   mutable joiners : tcb list;
+  (* Flat-interpreter execution context (meaningful only when the thread
+     runs compiled code; reference-CPS threads leave these at defaults). *)
+  mutable pc : int;  (* current instruction in the shared Code arena *)
+  mutable phase : int;
+      (* 0 fetch-dispatch at [pc]; 1 wait-wakeup (re-acquire the mutex at
+         the wait op); 2 charge done, op transition pending; 3 charge done,
+         re-acquire transition pending *)
+  mutable acc : int;  (* accumulated not-yet-charged compute (ns) *)
+  mutable binds : (int * int) list;  (* fork site -> spawned child tid *)
+  mutable k_step : unit -> unit;  (* preallocated: enter step loop at pc *)
+  mutable k_commit : unit -> unit;  (* preallocated: post-charge commit *)
+  mutable k_run : unit -> unit;  (* preallocated: set Running, then step *)
 }
 
 type stats = {
@@ -37,6 +77,9 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable remote_fills : int;
+  mutable program_steps : int;
+  mutable charge_segments : int;
+  mutable charge_batches : int;
 }
 
 type mutex_state = {
@@ -86,6 +129,9 @@ type state = {
       (* cluster hook: a miss may resolve from a peer machine's cache over
          the network instead of the disk; [Some register] means the fetch
          is in flight and [register wake] will deliver the block *)
+  mutable clock : unit -> Time.t;
+      (* current simulated time, installed by the substrate at create time;
+         consulted by cell probes to decide whether a lease is still live *)
   st : stats;
 }
 
@@ -104,6 +150,21 @@ type driver = {
   on_stamp : int -> unit;
 }
 
+(* Compiled code linked against one state: code-local sync-object indices
+   resolved to this state's mutex/cond/sem/ksem records once, so the step
+   loop's per-op cost is a single array read instead of a [Hashtbl] probe.
+   Resolution goes through the same find-or-create tables the reference
+   interpreter uses, so both paths share sync state. *)
+type link = {
+  lcode : Program.Code.t;
+  lmut : mutex_state array;
+  lcond : cond_state array;
+  lsem : sem_state array;
+  lksem : ksem_state array;
+}
+
+let compiled_enabled = ref true
+
 let tcb_id t = t.tid
 let tcb_name t = t.name
 let tcb_priority t = t.prio
@@ -112,13 +173,15 @@ let tcb_in_cs t = t.held_cell <> None
 let tcb_binding t = t.binding
 let cell_owner c = c.owner
 
+let fresh_cell () = { owner = None; lease_until = Time.zero; lease_for = 0 }
+
 let create_state ~queues ?(policy = Sched_policy.work_steal) ?cache ?io_dev ()
     =
   if queues <= 0 then invalid_arg "Ft_core.create_state: queues";
   {
     queues = Array.init queues (fun _ -> Deque.create ());
     policy;
-    q_cells = Array.init queues (fun _ -> { owner = None });
+    q_cells = Array.init queues (fun _ -> fresh_cell ());
     next_tid = 0;
     live = 0;
     ready_count = 0;
@@ -133,6 +196,7 @@ let create_state ~queues ?(policy = Sched_policy.work_steal) ?cache ?io_dev ()
     io_dev;
     cache_waiters = Hashtbl.create 16;
     remote_fill = None;
+    clock = (fun () -> Time.zero);
     st =
       {
         forks = 0;
@@ -146,6 +210,9 @@ let create_state ~queues ?(policy = Sched_policy.work_steal) ?cache ?io_dev ()
         cache_hits = 0;
         cache_misses = 0;
         remote_fills = 0;
+        program_steps = 0;
+        charge_segments = 0;
+        charge_batches = 0;
       };
   }
 
@@ -192,7 +259,7 @@ let mutex_state s m =
   | Some ms -> ms
   | None ->
       let ms =
-        { m_cell = { owner = None }; m_holder = None; m_waiters = Queue.create () }
+        { m_cell = fresh_cell (); m_holder = None; m_waiters = Queue.create () }
       in
       Hashtbl.replace s.mutexes id ms;
       ms
@@ -202,7 +269,7 @@ let cond_state s c =
   match Hashtbl.find_opt s.conds id with
   | Some cs -> cs
   | None ->
-      let cs = { c_cell = { owner = None }; c_waiters = Queue.create () } in
+      let cs = { c_cell = fresh_cell (); c_waiters = Queue.create () } in
       Hashtbl.replace s.conds id cs;
       cs
 
@@ -213,7 +280,7 @@ let sem_state s sem =
   | None ->
       let ss =
         {
-          s_cell = { owner = None };
+          s_cell = fresh_cell ();
           s_count = Program.Sem.initial sem;
           s_waiters = Queue.create ();
         }
@@ -311,14 +378,31 @@ let run_thread s ~index tcb =
 (* Critical-section cells                                              *)
 (* ------------------------------------------------------------------ *)
 
-let try_lock_cell cell ~owner =
+let try_lock_cell s cell ~owner =
   match cell.owner with
   | None ->
-      cell.owner <- Some owner;
-      true
+      if
+        Time.compare cell.lease_until Time.zero > 0
+        && cell.lease_for <> owner
+        && Time.compare (s.clock ()) cell.lease_until <= 0
+      then false
+      else begin
+        cell.lease_until <- Time.zero;
+        cell.lease_for <- 0;
+        cell.owner <- Some owner;
+        true
+      end
   | Some _ -> false
 
 let unlock_cell cell = cell.owner <- None
+
+(* Release [cell] under a lease: unavailable to everyone but [holder] until
+   [span] from now.  Used by {!fold_dispatch} call sites to reproduce the
+   contention window a dispatch-cost charge event would have created. *)
+let lease_cell s cell ~holder ~span =
+  cell.owner <- None;
+  cell.lease_until <- Time.add (s.clock ()) span;
+  cell.lease_for <- holder
 
 let default_spin_slice = Time.us 10
 
@@ -326,13 +410,15 @@ let spin_lock_cell s cell ~owner ?(slice = default_spin_slice) ~charge k =
   let slice = max slice (Time.ns 50) in
   let slice_max = slice * 100 in
   let rec attempt slice =
-    if try_lock_cell cell ~owner then k ()
+    if try_lock_cell s cell ~owner then k ()
     else begin
       s.st.cs_spin_ns <- s.st.cs_spin_ns + slice;
       charge slice (fun () -> attempt (min (slice * 2) slice_max))
     end
   in
   attempt slice
+
+let set_clock s f = s.clock <- f
 
 (* ------------------------------------------------------------------ *)
 (* Charged operations                                                  *)
@@ -350,7 +436,16 @@ let spin_slice d = max (5 * d.costs.Cost_model.ut_lock) (Time.ns 50)
    run [after] (the operation's state transition and continuation).  If the
    thread was preempted mid-section and is being temporarily continued, the
    section exit parks the thread and returns control to the upcall. *)
+(* One logical charge request that also issues one [d.charge] event: the
+   reference interpreter's segments-to-batches ratio is exactly 1. *)
+let charge_counted s d tcb span k =
+  s.st.charge_segments <- s.st.charge_segments + 1;
+  s.st.charge_batches <- s.st.charge_batches + 1;
+  d.charge tcb span k
+
 let charge_op s d tcb ~cell ~cost ~crossings after =
+  s.st.charge_segments <- s.st.charge_segments + 1;
+  s.st.charge_batches <- s.st.charge_batches + 1;
   let cost = cost + flag_cost d crossings in
   spin_lock_cell s cell ~owner:tcb.tid ~slice:(spin_slice d)
     ~charge:(fun slice k -> d.charge tcb slice k)
@@ -379,6 +474,11 @@ let charge_op s d tcb ~cell ~cost ~crossings after =
 let cs_crossings_null_fork = 6
 let cs_crossings_signal_wait = 3
 
+(* Shared no-op continuation: flat-interpreter tcbs overwrite all three
+   [k_*] slots at install time, so [tcb.k_step != nop] tests whether a
+   thread runs compiled code. *)
+let nop () = ()
+
 (* Dispatch cost charged by the substrate driver when it takes a thread off
    a ready list (one critical-section crossing). *)
 let dispatch_cost d =
@@ -388,7 +488,12 @@ let sa_extra d v = if d.sa_accounting then v else 0
 
 let rec exec s d tcb prog =
   let c = d.costs in
+  s.st.program_steps <- s.st.program_steps + 1;
   match prog with
+  | Program.Dynamic p ->
+      (* transparent marker, not a program step *)
+      s.st.program_steps <- s.st.program_steps - 1;
+      exec s d tcb p
   | Program.Done ->
       charge_op s d tcb
         ~cell:(queue_cell s tcb.binding)
@@ -403,7 +508,7 @@ let rec exec s d tcb prog =
           if s.live = 0 then d.all_done ();
           d.thread_stopped tcb)
   | Program.Compute (span, k) ->
-      d.charge tcb span (fun () -> exec s d tcb (k ()))
+      charge_counted s d tcb span (fun () -> exec s d tcb (k ()))
   | Program.Fork (child_prog, k) ->
       charge_op s d tcb
         ~cell:(queue_cell s tcb.binding)
@@ -441,7 +546,7 @@ let rec exec s d tcb prog =
               (* Contended: block at user level; release re-readies us
                  holding the mutex.  The holder may have released while we
                  charged the block path, so re-check before sleeping. *)
-              d.charge tcb
+              charge_counted s d tcb
                 (c.Cost_model.ut_block_on_lock - c.Cost_model.ut_lock)
                 (fun () ->
                   match ms.m_holder with
@@ -530,11 +635,12 @@ let rec exec s d tcb prog =
           exec s d tcb (k ()))
   | Program.Ksem_p (sem, k) ->
       let ks = ksem_state s sem in
-      d.charge tcb c.Cost_model.ut_lock (fun () ->
+      charge_counted s d tcb c.Cost_model.ut_lock (fun () ->
           if ks.k_count > 0 then begin
             ks.k_count <- ks.k_count - 1;
             (* The check-and-decrement still traps into the kernel. *)
-            d.charge tcb c.Cost_model.kernel_trap (fun () -> exec s d tcb (k ()))
+            charge_counted s d tcb c.Cost_model.kernel_trap (fun () ->
+                exec s d tcb (k ()))
           end
           else begin
             s.st.kblocks <- s.st.kblocks + 1;
@@ -547,7 +653,7 @@ let rec exec s d tcb prog =
           end)
   | Program.Ksem_v (sem, k) ->
       let ks = ksem_state s sem in
-      d.charge tcb
+      charge_counted s d tcb
         (c.Cost_model.ut_unlock + c.Cost_model.kernel_trap)
         (fun () ->
           (match Queue.take_opt ks.k_waiters with
@@ -564,9 +670,10 @@ let rec exec s d tcb prog =
       match s.cache with
       | None ->
           (* No cache configured: treat as always-hit. *)
-          d.charge tcb c.Cost_model.procedure_call (fun () -> exec s d tcb (k ()))
+          charge_counted s d tcb c.Cost_model.procedure_call (fun () ->
+              exec s d tcb (k ()))
       | Some cache ->
-          d.charge tcb c.Cost_model.procedure_call (fun () ->
+          charge_counted s d tcb c.Cost_model.procedure_call (fun () ->
               match Buffer_cache.access cache block with
               | Buffer_cache.Hit ->
                   s.st.cache_hits <- s.st.cache_hits + 1;
@@ -618,7 +725,7 @@ let rec exec s d tcb prog =
       d.on_stamp id;
       exec s d tcb (k ())
   | Program.Set_priority (p, k) ->
-      d.charge tcb c.Cost_model.procedure_call (fun () ->
+      charge_counted s d tcb c.Cost_model.procedure_call (fun () ->
           tcb.prio <- p;
           if p <> 0 then s.has_priorities <- true;
           exec s d tcb (k ()))
@@ -639,7 +746,455 @@ and block_user s d tcb resume_k =
   tcb.resume <- resume_k;
   d.thread_stopped tcb
 
-and new_thread_in s d ?(name = "") prog =
+(* ------------------------------------------------------------------ *)
+(* Flat interpreter                                                    *)
+(*                                                                     *)
+(* Compiled threads run a pc-indexed step loop over the shared arena   *)
+(* instead of rebuilding [(unit -> t)] continuations.  Consecutive     *)
+(* [Compute] spans accumulate in [tcb.acc] with no [Sim] event at all  *)
+(* and are merged into the next charging operation's single [d.charge] *)
+(* (flushed separately before [Io] and [Stamp], which need the exact   *)
+(* pre-block / pre-marker instant).  Every state transition happens at *)
+(* the same simulated time as under the reference interpreter; the one *)
+(* semantic divergence is that the protecting [cs_cell] is taken at    *)
+(* the start of a merged segment rather than after the compute part,   *)
+(* so spin accounting and the Section 3.3 recovery-vs-ordinary         *)
+(* preemption split can differ (see docs/INTERNALS.md s12).            *)
+(* ------------------------------------------------------------------ *)
+
+and step_loop s d tcb lk =
+  match tcb.phase with
+  | 2 ->
+      tcb.phase <- 0;
+      commit_op s d tcb lk
+  | 3 ->
+      tcb.phase <- 0;
+      let code = lk.lcode in
+      commit_acquire s d tcb lk
+        lk.lmut.(Array.unsafe_get code.Pcode.b tcb.pc)
+  | 1 ->
+      (* Wait wakeup: re-acquire the mutex before leaving the wait op
+         (the reference interpreter re-enters [exec] on an [Acquire]). *)
+      tcb.phase <- 0;
+      s.st.program_steps <- s.st.program_steps + 1;
+      if tcb.acc = 0 then flat_reacquire s d tcb lk
+      else flat_flush s d tcb ~phase:5
+  | 4 ->
+      tcb.phase <- 0;
+      flat_cell_op s d tcb lk
+  | 5 ->
+      tcb.phase <- 0;
+      flat_reacquire s d tcb lk
+  | _ ->
+      let code = lk.lcode in
+      let pc = tcb.pc in
+      s.st.program_steps <- s.st.program_steps + 1;
+      let c = d.costs in
+      (match Array.unsafe_get code.Pcode.op pc with
+      | 1 (* compute *) ->
+          s.st.charge_segments <- s.st.charge_segments + 1;
+          tcb.acc <- tcb.acc + Array.unsafe_get code.Pcode.a pc;
+          tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+          step_loop s d tcb lk
+      | 0 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 11 | 15 ->
+          (* Cell-protected ops flush accumulated compute as its own
+             event first, so the cell is held for exactly the reference
+             interpreter's op-cost window.  Merging would serialize
+             contended sync objects behind unrelated compute, and would
+             starve thieves (whose [try_lock_cell] probes never spin) of
+             the forker's/yielder's queue cell. *)
+          if tcb.acc = 0 then flat_cell_op s d tcb lk
+          else flat_flush s d tcb ~phase:4
+      | 9 (* ksem_p *) ->
+          flat_charge s d tcb ~cost:c.Cost_model.ut_lock
+      | 10 (* ksem_v *) ->
+          flat_charge s d tcb
+            ~cost:(c.Cost_model.ut_unlock + c.Cost_model.kernel_trap)
+      | 12 (* join *) ->
+          (* Resolve now so an unknown target errors before any charge,
+             as in the reference interpreter; the commit re-resolves and
+             re-checks the target's state after the charge. *)
+          ignore (flat_join_target s tcb (Array.unsafe_get code.Pcode.a pc));
+          if tcb.acc = 0 then flat_cell_op s d tcb lk
+          else flat_flush s d tcb ~phase:4
+      | 13 (* io *) ->
+          let span = Array.unsafe_get code.Pcode.a pc in
+          if tcb.acc = 0 then flat_io s d tcb lk span
+          else begin
+            s.st.charge_batches <- s.st.charge_batches + 1;
+            let pending = tcb.acc in
+            tcb.acc <- 0;
+            d.charge tcb pending (fun () -> flat_io s d tcb lk span)
+          end
+      | 14 (* cache_read *) ->
+          flat_charge s d tcb ~cost:c.Cost_model.procedure_call
+      | 16 (* stamp *) ->
+          if tcb.acc = 0 then begin
+            d.on_stamp (Array.unsafe_get code.Pcode.a pc);
+            tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+            step_loop s d tcb lk
+          end
+          else begin
+            (* Flush so the marker fires at the exact instant the
+               reference interpreter would have reached it. *)
+            s.st.charge_batches <- s.st.charge_batches + 1;
+            let pending = tcb.acc in
+            tcb.acc <- 0;
+            tcb.phase <- 2;
+            d.charge tcb pending tcb.k_commit
+          end
+      | 17 (* set_priority *) ->
+          flat_charge s d tcb ~cost:c.Cost_model.procedure_call
+      | _ -> assert false)
+
+(* Flush the accumulator as its own (cell-free) [Sim] event; [phase]
+   routes [k_commit] back to the pending sync op. *)
+and flat_flush s d tcb ~phase =
+  s.st.charge_batches <- s.st.charge_batches + 1;
+  let pending = tcb.acc in
+  tcb.acc <- 0;
+  tcb.phase <- phase;
+  d.charge tcb pending tcb.k_commit
+
+(* Cell-protected ops: always reached with an empty accumulator, so the
+   cell-held window matches the reference interpreter exactly. *)
+and flat_cell_op s d tcb lk =
+  let code = lk.lcode in
+  let pc = tcb.pc in
+  let c = d.costs in
+  match Array.unsafe_get code.Pcode.op pc with
+  | 0 (* done *) ->
+      flat_charge_op s d tcb
+        ~cell:(queue_cell s tcb.binding)
+        ~cost:c.Cost_model.ut_finish ~crossings:1 ~phase:2
+  | 11 (* fork *) ->
+      flat_charge_op s d tcb
+        ~cell:(queue_cell s tcb.binding)
+        ~cost:
+          (c.Cost_model.ut_fork + sa_extra d c.Cost_model.ut_sa_busy_accounting)
+        ~crossings:2 ~phase:2
+  | 12 (* join *) ->
+      flat_charge_op s d tcb
+        ~cell:(queue_cell s tcb.binding)
+        ~cost:c.Cost_model.ut_join ~crossings:1 ~phase:2
+  | 15 (* yield *) ->
+      flat_charge_op s d tcb
+        ~cell:(queue_cell s tcb.binding)
+        ~cost:c.Cost_model.ut_yield ~crossings:1 ~phase:2
+  | 2 (* acquire *) ->
+      let ms = lk.lmut.(Array.unsafe_get code.Pcode.a pc) in
+      flat_charge_op s d tcb ~cell:ms.m_cell ~cost:c.Cost_model.ut_lock
+        ~crossings:1 ~phase:2
+  | 3 (* release *) ->
+      let ms = lk.lmut.(Array.unsafe_get code.Pcode.a pc) in
+      flat_charge_op s d tcb ~cell:ms.m_cell ~cost:c.Cost_model.ut_unlock
+        ~crossings:1 ~phase:2
+  | 4 (* wait *) ->
+      let cs = lk.lcond.(Array.unsafe_get code.Pcode.a pc) in
+      flat_charge_op s d tcb ~cell:cs.c_cell
+        ~cost:
+          (c.Cost_model.ut_wait + sa_extra d c.Cost_model.ut_sa_busy_accounting)
+        ~crossings:1 ~phase:2
+  | 5 (* signal *) | 6 (* broadcast *) ->
+      let cs = lk.lcond.(Array.unsafe_get code.Pcode.a pc) in
+      flat_charge_op s d tcb ~cell:cs.c_cell
+        ~cost:
+          (c.Cost_model.ut_signal + sa_extra d c.Cost_model.ut_sa_resume_check)
+        ~crossings:1 ~phase:2
+  | 7 (* sem_p *) ->
+      let ss = lk.lsem.(Array.unsafe_get code.Pcode.a pc) in
+      flat_charge_op s d tcb ~cell:ss.s_cell
+        ~cost:
+          (c.Cost_model.ut_wait + sa_extra d c.Cost_model.ut_sa_busy_accounting)
+        ~crossings:1 ~phase:2
+  | 8 (* sem_v *) ->
+      let ss = lk.lsem.(Array.unsafe_get code.Pcode.a pc) in
+      flat_charge_op s d tcb ~cell:ss.s_cell
+        ~cost:
+          (c.Cost_model.ut_signal + sa_extra d c.Cost_model.ut_sa_resume_check)
+        ~crossings:1 ~phase:2
+  | _ -> assert false
+
+and flat_reacquire s d tcb lk =
+  let code = lk.lcode in
+  let ms = lk.lmut.(Array.unsafe_get code.Pcode.b tcb.pc) in
+  flat_charge_op s d tcb ~cell:ms.m_cell ~cost:d.costs.Cost_model.ut_lock
+    ~crossings:1 ~phase:3
+
+(* Charged operation protected by a cell: one [d.charge] event covering
+   the accumulated compute plus the op cost, cell taken for the whole
+   merged segment.  Only queue-cell ops (done/fork/join/yield) reach here
+   with a non-empty accumulator — thieves merely [try_lock_cell] queue
+   cells (probe fails, no spinning), so the longer window costs at most a
+   missed steal; sync-object ops flush first ([flat_flush]).  Uncontended
+   path allocates nothing ([k_commit] is preallocated, as is the kernel's
+   per-activation charge closure). *)
+and flat_charge_op s d tcb ~cell ~cost ~crossings ~phase =
+  s.st.charge_segments <- s.st.charge_segments + 1;
+  s.st.charge_batches <- s.st.charge_batches + 1;
+  let cost = cost + flag_cost d crossings + tcb.acc in
+  tcb.acc <- 0;
+  tcb.phase <- phase;
+  if try_lock_cell s cell ~owner:tcb.tid then begin
+    tcb.held_cell <- Some cell;
+    d.charge tcb cost tcb.k_commit
+  end
+  else
+    spin_lock_cell s cell ~owner:tcb.tid ~slice:(spin_slice d)
+      ~charge:(fun slice k -> d.charge tcb slice k)
+      (fun () ->
+        tcb.held_cell <- Some cell;
+        d.charge tcb cost tcb.k_commit)
+
+(* Charged operation with no protecting cell (kernel-semaphore ops,
+   cache probes, priority): merged charge, commit via the phase route. *)
+and flat_charge s d tcb ~cost =
+  s.st.charge_segments <- s.st.charge_segments + 1;
+  s.st.charge_batches <- s.st.charge_batches + 1;
+  let cost = cost + tcb.acc in
+  tcb.acc <- 0;
+  tcb.phase <- 2;
+  d.charge tcb cost tcb.k_commit
+
+and flat_io s d tcb lk span =
+  s.st.kblocks <- s.st.kblocks + 1;
+  set_state s tcb Blocked_kernel;
+  tcb.pc <- Array.unsafe_get lk.lcode.Pcode.nx tcb.pc;
+  d.block_io tcb span tcb.k_run
+
+and flat_join_target s tcb operand =
+  let tid =
+    if operand >= 0 then operand
+    else
+      match List.assoc_opt (-operand - 1) tcb.binds with
+      | Some t -> t
+      | None -> invalid_arg "Join: unknown thread id"
+  in
+  match Hashtbl.find_opt s.threads tid with
+  | Some target -> target
+  | None -> invalid_arg "Join: unknown thread id"
+
+(* Post-charge state transition for the op at [tcb.pc] (the reference
+   interpreter's [after] closures, dispatched on the op tag). *)
+and commit_op s d tcb lk =
+  let code = lk.lcode in
+  let pc = tcb.pc in
+  let c = d.costs in
+  match Array.unsafe_get code.Pcode.op pc with
+  | 0 (* done *) ->
+      set_state s tcb Done;
+      s.live <- s.live - 1;
+      s.st.completions <- s.st.completions + 1;
+      let joiners = tcb.joiners in
+      tcb.joiners <- [];
+      List.iter (fun j -> make_ready s d ~at:tcb.binding j) joiners;
+      if s.live = 0 then d.all_done ();
+      d.thread_stopped tcb
+  | 2 (* acquire *) ->
+      commit_acquire s d tcb lk lk.lmut.(Array.unsafe_get code.Pcode.a pc)
+  | 3 (* release *) ->
+      let ms = lk.lmut.(Array.unsafe_get code.Pcode.a pc) in
+      (match ms.m_holder with
+      | Some holder when holder = tcb.tid -> ()
+      | Some _ | None -> invalid_arg "Release: not the holder");
+      (match Queue.take_opt ms.m_waiters with
+      | Some w ->
+          ms.m_holder <- Some w.tid;
+          make_ready s d ~at:tcb.binding w
+      | None -> ms.m_holder <- None);
+      flat_advance s d tcb lk
+  | 4 (* wait *) ->
+      let cs = lk.lcond.(Array.unsafe_get code.Pcode.a pc) in
+      let mi = Array.unsafe_get code.Pcode.b pc in
+      let ms = lk.lmut.(mi) in
+      (match ms.m_holder with
+      | Some holder when holder = tcb.tid -> ()
+      | Some _ | None -> invalid_arg "Wait: caller does not hold mutex");
+      (* Atomically release the mutex and sleep. *)
+      (match Queue.take_opt ms.m_waiters with
+      | Some w ->
+          ms.m_holder <- Some w.tid;
+          make_ready s d ~at:tcb.binding w
+      | None -> ms.m_holder <- None);
+      Queue.add (tcb, code.Pcode.mutexes.(mi)) cs.c_waiters;
+      tcb.phase <- 1;
+      block_user s d tcb tcb.k_step
+  | 5 (* signal *) ->
+      let cs = lk.lcond.(Array.unsafe_get code.Pcode.a pc) in
+      (match Queue.take_opt cs.c_waiters with
+      | Some (w, _m) -> make_ready s d ~at:tcb.binding w
+      | None -> ());
+      flat_advance s d tcb lk
+  | 6 (* broadcast *) ->
+      let cs = lk.lcond.(Array.unsafe_get code.Pcode.a pc) in
+      Queue.iter (fun (w, _m) -> make_ready s d ~at:tcb.binding w) cs.c_waiters;
+      Queue.clear cs.c_waiters;
+      flat_advance s d tcb lk
+  | 7 (* sem_p *) ->
+      let ss = lk.lsem.(Array.unsafe_get code.Pcode.a pc) in
+      if ss.s_count > 0 then begin
+        ss.s_count <- ss.s_count - 1;
+        flat_advance s d tcb lk
+      end
+      else begin
+        Queue.add tcb ss.s_waiters;
+        tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+        block_user s d tcb tcb.k_step
+      end
+  | 8 (* sem_v *) ->
+      let ss = lk.lsem.(Array.unsafe_get code.Pcode.a pc) in
+      (match Queue.take_opt ss.s_waiters with
+      | Some w -> make_ready s d ~at:tcb.binding w
+      | None -> ss.s_count <- ss.s_count + 1);
+      flat_advance s d tcb lk
+  | 9 (* ksem_p *) ->
+      let ks = lk.lksem.(Array.unsafe_get code.Pcode.a pc) in
+      if ks.k_count > 0 then begin
+        ks.k_count <- ks.k_count - 1;
+        (* The check-and-decrement still traps into the kernel. *)
+        s.st.charge_segments <- s.st.charge_segments + 1;
+        s.st.charge_batches <- s.st.charge_batches + 1;
+        tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+        d.charge tcb c.Cost_model.kernel_trap tcb.k_step
+      end
+      else begin
+        s.st.kblocks <- s.st.kblocks + 1;
+        set_state s tcb Blocked_kernel;
+        tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+        d.block_kernel tcb
+          ~register:(fun wake -> Queue.add wake ks.k_waiters)
+          tcb.k_run
+      end
+  | 10 (* ksem_v *) ->
+      let ks = lk.lksem.(Array.unsafe_get code.Pcode.a pc) in
+      (match Queue.take_opt ks.k_waiters with
+      | Some wake -> wake ()
+      | None -> ks.k_count <- ks.k_count + 1);
+      flat_advance s d tcb lk
+  | 11 (* fork *) ->
+      let child_pc = Array.unsafe_get code.Pcode.a pc in
+      let site = Array.unsafe_get code.Pcode.b pc in
+      let child = new_flat_thread s d lk ~pc:child_pc in
+      child.prio <- tcb.prio;
+      if child.prio <> 0 then s.has_priorities <- true;
+      s.st.forks <- s.st.forks + 1;
+      tcb.binds <- (site, child.tid) :: tcb.binds;
+      make_ready s d ~at:tcb.binding child;
+      flat_advance s d tcb lk
+  | 12 (* join *) ->
+      let target =
+        flat_join_target s tcb (Array.unsafe_get code.Pcode.a pc)
+      in
+      if target.tstate = Done then flat_advance s d tcb lk
+      else begin
+        target.joiners <- tcb :: target.joiners;
+        tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+        block_user s d tcb tcb.k_step
+      end
+  | 14 (* cache_read *) -> (
+      match s.cache with
+      | None ->
+          (* No cache configured: treat as always-hit. *)
+          flat_advance s d tcb lk
+      | Some cache -> (
+          let block = Array.unsafe_get code.Pcode.a pc in
+          match Buffer_cache.access cache block with
+          | Buffer_cache.Hit ->
+              s.st.cache_hits <- s.st.cache_hits + 1;
+              flat_advance s d tcb lk
+          | Buffer_cache.Miss ->
+              s.st.cache_misses <- s.st.cache_misses + 1;
+              s.st.kblocks <- s.st.kblocks + 1;
+              set_state s tcb Blocked_kernel;
+              tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+              let fill_done () =
+                set_state s tcb Running;
+                Buffer_cache.fill cache block;
+                (* Wake threads that coalesced on this fill. *)
+                (match Hashtbl.find_opt s.cache_waiters block with
+                | Some waiters ->
+                    Hashtbl.remove s.cache_waiters block;
+                    List.iter
+                      (fun w -> make_ready s d ~at:tcb.binding w)
+                      (List.rev waiters)
+                | None -> ());
+                step_loop s d tcb lk
+              in
+              (match
+                 match s.remote_fill with Some f -> f block | None -> None
+               with
+              | Some register ->
+                  s.st.remote_fills <- s.st.remote_fills + 1;
+                  d.block_kernel tcb ~register fill_done
+              | None -> (
+                  match s.io_dev with
+                  | Some dev ->
+                      d.block_kernel tcb
+                        ~register:(fun wake -> Io_device.submit dev wake)
+                        fill_done
+                  | None -> d.block_io tcb d.io_latency fill_done))
+          | Buffer_cache.Miss_in_flight ->
+              s.st.cache_misses <- s.st.cache_misses + 1;
+              let old =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt s.cache_waiters block)
+              in
+              Hashtbl.replace s.cache_waiters block (tcb :: old);
+              tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+              block_user s d tcb tcb.k_step))
+  | 15 (* yield *) ->
+      tcb.pc <- Array.unsafe_get code.Pcode.nx pc;
+      tcb.resume <- tcb.k_step;
+      set_state s tcb Ready;
+      s.policy.Sched_policy.sp_push_yield s.queues.(tcb.binding) tcb;
+      d.work_created s tcb;
+      d.thread_stopped tcb
+  | 16 (* stamp: reached only via the acc flush *) ->
+      d.on_stamp (Array.unsafe_get code.Pcode.a pc);
+      flat_advance s d tcb lk
+  | 17 (* set_priority *) ->
+      let p = Array.unsafe_get code.Pcode.a pc in
+      tcb.prio <- p;
+      if p <> 0 then s.has_priorities <- true;
+      flat_advance s d tcb lk
+  | _ (* compute / io never commit here *) -> assert false
+
+and flat_advance s d tcb lk =
+  tcb.pc <- Array.unsafe_get lk.lcode.Pcode.nx tcb.pc;
+  step_loop s d tcb lk
+
+and commit_acquire s d tcb lk ms =
+  match ms.m_holder with
+  | None ->
+      ms.m_holder <- Some tcb.tid;
+      flat_advance s d tcb lk
+  | Some _ ->
+      (* Contended: block at user level; release re-readies us holding
+         the mutex.  The holder may have released while we charged the
+         block path, so re-check before sleeping. *)
+      let c = d.costs in
+      charge_counted s d tcb
+        (c.Cost_model.ut_block_on_lock - c.Cost_model.ut_lock)
+        (fun () ->
+          match ms.m_holder with
+          | None ->
+              ms.m_holder <- Some tcb.tid;
+              flat_advance s d tcb lk
+          | Some _ ->
+              Queue.add tcb ms.m_waiters;
+              tcb.pc <- Array.unsafe_get lk.lcode.Pcode.nx tcb.pc;
+              block_user s d tcb tcb.k_step)
+
+and link_code s code =
+  {
+    lcode = code;
+    lmut = Array.map (fun m -> mutex_state s m) code.Pcode.mutexes;
+    lcond = Array.map (fun cv -> cond_state s cv) code.Pcode.conds;
+    lsem = Array.map (fun sem -> sem_state s sem) code.Pcode.sems;
+    lksem = Array.map (fun sem -> ksem_state s sem) code.Pcode.ksems;
+  }
+
+and make_tcb s ~name =
   s.next_tid <- s.next_tid + 1;
   let tid = s.next_tid in
   let name = if name = "" then Printf.sprintf "t%d" tid else name in
@@ -654,14 +1209,93 @@ and new_thread_in s d ?(name = "") prog =
       held_cell = None;
       cs_hook = None;
       joiners = [];
+      pc = 0;
+      phase = 0;
+      acc = 0;
+      binds = [];
+      k_step = nop;
+      k_commit = nop;
+      k_run = nop;
     }
   in
-  tcb.resume <- (fun () -> exec s d tcb prog);
   Hashtbl.replace s.threads tid tcb;
   s.live <- s.live + 1;
   tcb
 
+and install_flat s d tcb lk =
+  tcb.k_step <- (fun () -> step_loop s d tcb lk);
+  tcb.k_run <-
+    (fun () ->
+      set_state s tcb Running;
+      step_loop s d tcb lk);
+  tcb.k_commit <-
+    (fun () ->
+      (match tcb.held_cell with
+      | Some cell ->
+          unlock_cell cell;
+          tcb.held_cell <- None
+      | None -> ());
+      match tcb.cs_hook with
+      | None -> (
+          let ph = tcb.phase in
+          tcb.phase <- 0;
+          match ph with
+          | 3 ->
+              commit_acquire s d tcb lk
+                lk.lmut.(Array.unsafe_get lk.lcode.Pcode.b tcb.pc)
+          | 4 -> flat_cell_op s d tcb lk
+          | 5 -> flat_reacquire s d tcb lk
+          | _ -> commit_op s d tcb lk)
+      | Some hook ->
+          (* Temporarily-continued thread reached the section exit:
+             relinquish back to the original upcall (Section 3.3).  The
+             pending commit survives in [tcb.phase]; [k_step] routes back
+             to it on the next dispatch. *)
+          tcb.cs_hook <- None;
+          tcb.resume <- tcb.k_step;
+          set_state s tcb Ready;
+          s.policy.Sched_policy.sp_push_preempted s.queues.(tcb.binding) tcb;
+          d.work_created s tcb;
+          hook ());
+  tcb.resume <- tcb.k_step
+
+and new_flat_thread s d lk ~pc =
+  let tcb = make_tcb s ~name:"" in
+  tcb.pc <- pc;
+  install_flat s d tcb lk;
+  tcb
+
+and new_thread_in s d ?(name = "") prog =
+  let tcb = make_tcb s ~name in
+  (match if !compiled_enabled then Program.compile prog else None with
+  | Some code -> install_flat s d tcb (link_code s code)
+  | None -> tcb.resume <- (fun () -> exec s d tcb prog));
+  tcb
+
 let new_thread s d ?name prog = new_thread_in s d ?name prog
+
+(* Dispatch-cost folding: when a compiled thread is being dispatched at an
+   op boundary (resume is the bare step/run entry, not a preemption
+   re-charge), the dispatch overhead can ride in its accumulator instead
+   of being a [Sim] event of its own — the next charge consumes the
+   accumulator before any state transition, so every transition instant is
+   unchanged.  Preemption-recharge resumes are excluded: folding there
+   would shift the interrupted segment's completion earlier.  So are
+   threads parked with a pending commit phase (a Section-3.3 section exit):
+   their commit transitions run straight off the dispatch, before any
+   charge could consume the accumulator. *)
+let fold_dispatch s d tcb =
+  if
+    tcb.k_step != nop
+    && (tcb.resume == tcb.k_step || tcb.resume == tcb.k_run)
+    && tcb.phase <= 1
+  then begin
+    s.st.charge_segments <- s.st.charge_segments + 1;
+    tcb.acc <- tcb.acc + dispatch_cost d;
+    true
+  end
+  else false
+
 let set_resume tcb k = tcb.resume <- k
 
 let mark_kernel_blocked s tcb =

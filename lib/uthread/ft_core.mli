@@ -60,6 +60,17 @@ type stats = {
   mutable remote_fills : int;
       (** misses serviced from a peer machine's cache over the network
           (cluster runs; see {!set_remote_fill}) *)
+  mutable program_steps : int;
+      (** program operations executed (both interpreters count identically,
+          including the wait-wakeup re-acquire step) *)
+  mutable charge_segments : int;
+      (** logical charge requests issued by the interpreter (compute spans,
+          op costs, contended-acquire block paths; spin slices excluded) *)
+  mutable charge_batches : int;
+      (** [d.charge] events actually issued; the flat interpreter coalesces
+          consecutive compute segments into the next op's charge, so
+          [charge_segments / charge_batches] is the batching ratio
+          (exactly 1 under the reference interpreter) *)
 }
 
 type state
@@ -144,6 +155,15 @@ type driver = {
 
 (** {1 Thread lifecycle} *)
 
+val compiled_enabled : bool ref
+(** When set (the default), {!new_thread} compiles programs to the flat
+    arena representation ({!Program.compile}) and runs them with the
+    pc-indexed step loop, batching consecutive compute charges into single
+    [Sim] events; programs the compiler rejects fall back to the reference
+    CPS interpreter automatically (both share sync-object state).  Clear to
+    force the reference interpreter everywhere — the record side of the
+    explore record->replay cross-check, and the differential oracle. *)
+
 val new_thread : state -> driver -> ?name:string -> Program.t -> tcb
 (** Allocate a TCB in [Embryo] state (not yet on any ready list). *)
 
@@ -185,6 +205,16 @@ val dispatch_cost : driver -> Time.span
 (** Cost the substrate charges to take a thread off a ready list (includes
     the Explicit_flag crossing when that strategy is active). *)
 
+val fold_dispatch : state -> driver -> tcb -> bool
+(** Try to absorb {!dispatch_cost} into a compiled thread's charge
+    accumulator instead of a [Sim] event of its own.  Succeeds ([true])
+    only when the thread runs the flat interpreter and sits at an op
+    boundary — its next charge then consumes the folded cost before any
+    state transition, so all transition instants match the unfolded
+    schedule.  On [false] the caller must charge the dispatch cost
+    itself (reference-interpreter threads, preemption re-charges,
+    Section-3.3 section exits). *)
+
 val spin_slice : driver -> Time.span
 (** The initial spin-slice used when waiting on a held cell (a few
     uncontended lock costs, floored at 50 ns). *)
@@ -198,8 +228,23 @@ val run_thread : state -> index:int -> tcb -> unit
 val queue_cell : state -> int -> cs_cell
 (** The cell protecting ready list [i]. *)
 
-val try_lock_cell : cs_cell -> owner:int -> bool
+val try_lock_cell : state -> cs_cell -> owner:int -> bool
+(** Probe [cell]: fails while it has an owner, or while a live lease by
+    someone else covers the current instant ({!lease_cell}). *)
+
 val unlock_cell : cs_cell -> unit
+
+val lease_cell : state -> cs_cell -> holder:int -> span:Time.span -> unit
+(** Release [cell] but keep it unavailable to every owner except [holder]
+    for [span] from now.  {!fold_dispatch} call sites use this in place of
+    the unlock that would have followed a dispatch-cost charge event: other
+    processors' probes see the same contention window as if the dispatcher
+    had held the cell across that event, while the dispatched thread itself
+    passes through (its next merged charge covers the window). *)
+
+val set_clock : state -> (unit -> Time.t) -> unit
+(** Install the simulated-time source consulted by cell-lease probes.
+    Substrates call this once at create time. *)
 
 val spin_lock_cell :
   state ->

@@ -57,9 +57,15 @@ let rec vp_step t idx ops =
         match Ft_core.pop_own s idx with
         | Some tcb ->
             trace_ready t;
-            ops.Kernel.kt_charge (Ft_core.dispatch_cost d) (fun () ->
-                Ft_core.unlock_cell cell;
-                Ft_core.run_thread s ~index:idx tcb)
+            if Ft_core.fold_dispatch s d tcb then begin
+              Ft_core.lease_cell s cell ~holder:(Ft_core.tcb_id tcb)
+                ~span:(Ft_core.dispatch_cost d);
+              Ft_core.run_thread s ~index:idx tcb
+            end
+            else
+              ops.Kernel.kt_charge (Ft_core.dispatch_cost d) (fun () ->
+                  Ft_core.unlock_cell cell;
+                  Ft_core.run_thread s ~index:idx tcb)
         | None ->
             Ft_core.unlock_cell cell;
             steal_scan t idx ops 1)
@@ -88,13 +94,19 @@ and steal_scan t idx ops k =
     if v = idx then steal_scan t idx ops (k + 1)
     else begin
       let vcell = Ft_core.queue_cell s v in
-      if Ft_core.try_lock_cell vcell ~owner:(-(idx + 1)) then begin
+      if Ft_core.try_lock_cell s vcell ~owner:(-(idx + 1)) then begin
         match Ft_core.steal_from s ~victim:v with
         | Some tcb ->
             (Ft_core.stats s).steals <- (Ft_core.stats s).steals + 1;
-            ops.Kernel.kt_charge (Ft_core.dispatch_cost d) (fun () ->
-                Ft_core.unlock_cell vcell;
-                Ft_core.run_thread s ~index:idx tcb)
+            if Ft_core.fold_dispatch s d tcb then begin
+              Ft_core.lease_cell s vcell ~holder:(Ft_core.tcb_id tcb)
+                ~span:(Ft_core.dispatch_cost d);
+              Ft_core.run_thread s ~index:idx tcb
+            end
+            else
+              ops.Kernel.kt_charge (Ft_core.dispatch_cost d) (fun () ->
+                  Ft_core.unlock_cell vcell;
+                  Ft_core.run_thread s ~index:idx tcb)
         | None ->
             Ft_core.unlock_cell vcell;
             steal_scan t idx ops (k + 1)
@@ -126,6 +138,7 @@ let create kernel ~name ~vps ?(priority = 0) ?policy ?cache ?io_dev
   in
   let costs = Kernel.costs kernel in
   let sim = Kernel.sim kernel in
+  Ft_core.set_clock core_state (fun () -> Sim.now sim);
   let d =
     {
       Ft_core.costs;

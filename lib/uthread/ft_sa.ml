@@ -123,7 +123,8 @@ let trace_recovery t edge tcb =
     ~act:(Ft_core.tcb_id tcb) Trace.Uthread "cs-recovery"
 
 let bind t act tcb =
-  jlog "bind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
+  if !journal_enabled then
+    jlog "bind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
   let aid = Kernel.activation_id act and tid = Ft_core.tcb_id tcb in
   ensure_aid t aid;
   ensure_tid t tid;
@@ -131,7 +132,8 @@ let bind t act tcb =
   t.bound.(tid) <- Some act
 
 let unbind t act tcb =
-  jlog "unbind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
+  if !journal_enabled then
+    jlog "unbind act%d <tid%d>" (Kernel.activation_id act) (Ft_core.tcb_id tcb);
   ensure_aid t (Kernel.activation_id act);
   t.loaded.(Kernel.activation_id act) <- L_manager;
   if Ft_core.tcb_id tcb < Array.length t.bound then
@@ -206,15 +208,25 @@ and run_picked t act idx cell tcb =
   let d = driver t in
   trace_ready t;
   bind t act tcb;
-  let repair () =
-    (* Preempted mid-dispatch: put the half-dispatched thread back. *)
-    Ft_core.unlock_cell cell;
-    unbind t act tcb;
-    Ft_core.requeue_front s idx tcb
-  in
-  charge_manager t act ~repair (Ft_core.dispatch_cost d) (fun () ->
+  if Ft_core.fold_dispatch s d tcb then begin
+    (* Compiled thread at an op boundary: the dispatch cost rides in the
+       thread's charge accumulator — no manager event.  The queue cell is
+       released under a lease so thieves see the same contention window a
+       dispatch-cost charge event would have produced. *)
+    Ft_core.lease_cell s cell ~holder:(Ft_core.tcb_id tcb)
+      ~span:(Ft_core.dispatch_cost d);
+    Ft_core.run_thread s ~index:idx tcb
+  end
+  else
+    let repair () =
+      (* Preempted mid-dispatch: put the half-dispatched thread back. *)
       Ft_core.unlock_cell cell;
-      Ft_core.run_thread s ~index:idx tcb)
+      unbind t act tcb;
+      Ft_core.requeue_front s idx tcb
+    in
+    charge_manager t act ~repair (Ft_core.dispatch_cost d) (fun () ->
+        Ft_core.unlock_cell cell;
+        Ft_core.run_thread s ~index:idx tcb)
 
 and steal_scan t act idx k =
   let s = t.core_state in
@@ -243,7 +255,7 @@ and steal_scan t act idx k =
     if v = idx then steal_scan t act idx (k + 1)
     else begin
       let vcell = Ft_core.queue_cell s v in
-      if Ft_core.try_lock_cell vcell ~owner:(-(idx + 1)) then begin
+      if Ft_core.try_lock_cell s vcell ~owner:(-(idx + 1)) then begin
         match Ft_core.steal_from s ~victim:v with
         | Some tcb ->
             (Ft_core.stats s).steals <- (Ft_core.stats s).steals + 1;
@@ -391,6 +403,7 @@ let create kernel ~name ?(priority = 0) ?policy ?cache ?io_dev
   in
   let costs = Kernel.costs kernel in
   let sim = Kernel.sim kernel in
+  Ft_core.set_clock core_state (fun () -> Sim.now sim);
   let sp =
     Kernel.new_sa_space kernel ~name ~priority
       ~client:{ Kernel.on_upcall = (fun delivery -> on_upcall t delivery) }

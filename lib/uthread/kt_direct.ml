@@ -110,6 +110,7 @@ let rec exec t thr (ops : Kernel.kt_ops) prog =
   let c = Kernel.costs t.kernel in
   let continue k () = exec t thr ops (k ()) in
   match prog with
+  | Program.Dynamic p -> exec t thr ops p
   | Program.Done ->
       ops.Kernel.kt_charge (c_exit t c) (fun () ->
           thr.th_done <- true;
